@@ -1,0 +1,114 @@
+// The ftpcluster example exercises the hardest live-update case in the
+// paper: a multiprocess server (vsftpd model, one handler process per
+// session) with in-flight state. Three authenticated FTP sessions — one
+// of them mid-way through a large passive-mode transfer — survive a live
+// update: the handler processes are re-forked with the same pids, their
+// threads restored at their volatile quiescent points by the
+// reinitialization handler, and the transfer resumes from the transferred
+// byte offset without loss or duplication.
+//
+// Run with: go run ./examples/ftpcluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	mcr "repro"
+	"repro/internal/servers"
+	"repro/internal/workload"
+)
+
+func main() {
+	spec := servers.VsftpdSpec()
+	k := mcr.NewKernel()
+	servers.SeedFiles(k)
+	engine := mcr.NewEngine(k, mcr.Options{})
+	if _, err := engine.Launch(spec.Version(0)); err != nil {
+		log.Fatal(err)
+	}
+	defer engine.Shutdown()
+	fmt.Printf("launched %s on port %d\n", spec.Version(0), spec.Port)
+
+	// Two idle authenticated sessions.
+	alice, err := workload.OpenFTP(k, spec.Port, "alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer alice.Close()
+	bob, err := workload.OpenFTP(k, spec.Port, "bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bob.Close()
+
+	// Carol downloads a 1 MiB file in acknowledged chunks.
+	carol, err := workload.OpenFTP(k, spec.Port, "carol")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer carol.Close()
+	if err := workload.EnterPassive(k, carol); err != nil {
+		log.Fatal(err)
+	}
+	cc, dc := carol.Conns[0], carol.Conns[1]
+	if err := cc.Send([]byte("RETR big.dat")); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cc.Recv(2 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	got := 0
+	for i := 0; i < 4; i++ { // pull a few chunks pre-update
+		chunk, err := dc.Recv(2 * time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got += len(chunk)
+		if i < 3 {
+			if err := dc.Send([]byte("ACK")); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("carol mid-transfer: %d bytes received, holding the next ACK\n", got)
+	fmt.Printf("server processes before update: %d\n\n", len(engine.Current().Procs()))
+
+	rep, err := engine.Update(spec.Version(1))
+	if err != nil {
+		log.Fatalf("update: %v", err)
+	}
+	fmt.Printf("live update to %s in %v: %d ops replayed, %d objects transferred across %d processes\n\n",
+		spec.Version(1).Release, rep.TotalTime.Round(10*time.Microsecond),
+		rep.Replayed, rep.Transfer.ObjectsTransferred, len(engine.Current().Procs()))
+
+	// The idle sessions answer with their counters intact.
+	for name, s := range map[string]*workload.Session{"alice": alice, "bob": bob} {
+		resp, err := workload.FTPCommand(s, "STAT")
+		if err != nil {
+			log.Fatalf("%s died: %v", name, err)
+		}
+		fmt.Printf("%s: %s\n", name, resp)
+	}
+
+	// Carol's transfer resumes exactly where it stopped.
+	if err := dc.Send([]byte("ACK")); err != nil {
+		log.Fatal(err)
+	}
+	for {
+		msg, err := dc.Recv(5 * time.Second)
+		if err != nil {
+			log.Fatalf("carol resume: %v (at %d bytes)", err, got)
+		}
+		if strings.HasPrefix(string(msg), "226 ") {
+			break
+		}
+		got += len(msg)
+		if err := dc.Send([]byte("ACK")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\ncarol finished: %d bytes (expected %d) — no loss, no duplication\n", got, 1<<20)
+}

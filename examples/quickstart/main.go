@@ -1,0 +1,202 @@
+// The quickstart example is the paper's Listing 1 and Figure 2 end to
+// end: a small event-driven server with a linked list (precisely traced),
+// a char buffer hiding a pointer (conservatively traced), and a startup-
+// initialized configuration — live-updated to a version whose list node
+// type gained a field.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	mcr "repro"
+	"repro/internal/kernel"
+	"repro/internal/program"
+)
+
+// version builds the Listing 1 server. withNew adds the `new` field to
+// l_t — the Figure 2 update.
+func version(seq int, withNew bool) *mcr.Version {
+	reg := mcr.NewRegistry()
+	lt := &mcr.Type{Name: "l_t", Kind: mcr.KindStruct}
+	lt.Fields = []mcr.Field{
+		{Name: "value", Offset: 0, Type: mcr.Scalar(mcr.KindInt32)},
+		{Name: "next", Offset: 8, Type: mcr.PointerTo(lt)},
+	}
+	lt.Size, lt.Align = 16, 8
+	if withNew {
+		lt.Fields = append(lt.Fields, mcr.Field{Name: "new", Offset: 16,
+			Type: mcr.Scalar(mcr.KindInt32)})
+		lt.Size = 24
+	}
+	reg.Define(lt)
+	reg.Define(mcr.StructOf("conf_s",
+		mcr.Field{Name: "port", Type: mcr.Scalar(mcr.KindInt64)},
+	))
+	buf8 := mcr.ArrayOf(8, mcr.Scalar(mcr.KindUint8))
+	buf8.Name = "buf8"
+	reg.Define(buf8)
+	reg.Define(&mcr.Type{Name: "voidptr", Kind: mcr.KindPtr, Size: 8, Align: 8})
+
+	release := "v1"
+	if withNew {
+		release = "v2"
+	}
+	return &mcr.Version{
+		Program: "listing1",
+		Release: release,
+		Seq:     seq,
+		Types:   reg,
+		Globals: []mcr.GlobalSpec{
+			{Name: "b", Type: "buf8"},
+			{Name: "list", Type: "l_t"},
+			{Name: "conf", Type: "voidptr"},
+		},
+		Annotations: mcr.NewAnnotations(),
+		Main:        serverMain,
+	}
+}
+
+// serverMain is Listing 1: server_init then the main event loop.
+func serverMain(t *mcr.Thread) error {
+	t.Enter("main")
+	defer t.Exit()
+	var lfd int
+	err := t.Call("server_init", func() error {
+		var err error
+		if lfd, err = t.Socket(); err != nil {
+			return err
+		}
+		if err := t.Bind(lfd, 80); err != nil {
+			return err
+		}
+		if err := t.Listen(lfd, 64); err != nil {
+			return err
+		}
+		conf, err := t.Malloc("conf_s")
+		if err != nil {
+			return err
+		}
+		p := t.Proc()
+		if err := p.WriteField(conf, "port", 80); err != nil {
+			return err
+		}
+		return p.SetPtr(p.MustGlobal("conf"), "", conf)
+	})
+	if err != nil {
+		return err
+	}
+	return t.Loop("main_loop", func() error {
+		// server_get_event: the quiescent point.
+		cfd, _, err := t.AcceptQP("accept@server_get_event", lfd)
+		if err != nil {
+			if errors.Is(err, program.ErrStopped) {
+				return program.ErrLoopExit
+			}
+			return err
+		}
+		// server_handle_event: push a list node, stash a hidden pointer
+		// in b, greet the client.
+		return t.Call("server_handle_event", func() error {
+			p := t.Proc()
+			node, err := t.Malloc("l_t")
+			if err != nil {
+				return err
+			}
+			head := p.MustGlobal("list")
+			old, _ := p.ReadField(head, "next")
+			if err := p.WriteField(node, "value", old&0xff+10); err != nil {
+				return err
+			}
+			if err := p.WriteField(node, "next", old); err != nil {
+				return err
+			}
+			if err := p.WriteField(head, "next", uint64(node.Addr)); err != nil {
+				return err
+			}
+			scratch, err := t.MallocBytes(32)
+			if err != nil {
+				return err
+			}
+			if err := p.WriteBytes(scratch, 0, []byte("hidden state")); err != nil {
+				return err
+			}
+			if err := p.WriteWordAt(p.MustGlobal("b"), 0, uint64(scratch.Addr)); err != nil {
+				return err
+			}
+			if err := t.Write(cfd, []byte("welcome")); err != nil && !errors.Is(err, kernel.ErrClosed) {
+				return err
+			}
+			return nil
+		})
+	})
+}
+
+func dumpList(p *mcr.Proc, label string, hasNew bool) {
+	fmt.Printf("%s list:", label)
+	node, ok := p.ReadPtr(p.MustGlobal("list"), "next")
+	for ok {
+		v, _ := p.ReadField(node, "value")
+		if hasNew {
+			nv, _ := p.ReadField(node, "new")
+			fmt.Printf(" {value=%d new=%d @%#x}", v, nv, node.Addr)
+		} else {
+			fmt.Printf(" {value=%d @%#x}", v, node.Addr)
+		}
+		node, ok = p.ReadPtr(node, "next")
+	}
+	bval, _ := p.ReadWordAt(p.MustGlobal("b"), 0)
+	fmt.Printf("\n%s b hides pointer %#x\n", label, bval)
+}
+
+func main() {
+	k := mcr.NewKernel()
+	engine := mcr.NewEngine(k, mcr.Options{})
+
+	fmt.Println("== launching listing1 v1 ==")
+	if _, err := engine.Launch(version(0, false)); err != nil {
+		log.Fatal(err)
+	}
+	defer engine.Shutdown()
+
+	// Three client events build up post-startup ("dirty") state.
+	for i := 0; i < 3; i++ {
+		cc, err := k.Connect(80)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := cc.Recv(2 * time.Second); err != nil {
+			log.Fatal(err)
+		}
+	}
+	dumpList(engine.Current().Root(), "v1", false)
+
+	fmt.Println("\n== live update to v2 (l_t gains a `new` field) ==")
+	rep, err := engine.Update(version(1, true))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("update done in %v (quiesce %v, control migration %v, state transfer %v)\n",
+		rep.TotalTime.Round(time.Microsecond), rep.QuiesceTime.Round(time.Microsecond),
+		rep.ControlMigrationTime.Round(time.Microsecond), rep.StateTransferTime.Round(time.Microsecond))
+	fmt.Printf("replayed %d startup operations, %d executed live; transferred %d objects (%d type-transformed)\n",
+		rep.Replayed, rep.LiveExecuted, rep.Transfer.ObjectsTransferred, rep.Transfer.TypeTransformed)
+
+	dumpList(engine.Current().Root(), "v2", true)
+
+	// The same listener still accepts — a fourth client talks to v2.
+	cc, err := k.Connect(80)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if msg, err := cc.Recv(2 * time.Second); err != nil || string(msg) != "welcome" {
+		log.Fatalf("post-update client: %q %v", msg, err)
+	}
+	fmt.Println("\npost-update client served; list nodes were relocated and")
+	fmt.Println("type-transformed (new=0), while b's hidden pointer target was")
+	fmt.Println("pinned at its old address — exactly Figure 2.")
+}

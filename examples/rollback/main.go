@@ -1,0 +1,74 @@
+// The rollback example demonstrates MCR's atomic update semantics on the
+// §7 "violating assumptions" case: Apache httpd actively detects its own
+// running instance at startup and aborts. Without the paper's 8-LOC
+// annotation the new version's (replayed) startup hits that check, the
+// update conflicts, and MCR rolls back — the old version resumes from its
+// checkpoint and clients never notice. With the annotation the same
+// update succeeds.
+//
+// Run with: go run ./examples/rollback
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mcr "repro"
+	"repro/internal/servers"
+	"repro/internal/workload"
+)
+
+func main() {
+	servers.SetHttpdPoolThreads(4)
+	spec := servers.HttpdSpec()
+	k := mcr.NewKernel()
+	servers.SeedFiles(k)
+	engine := mcr.NewEngine(k, mcr.Options{})
+	if _, err := engine.Launch(spec.Version(0)); err != nil {
+		log.Fatal(err)
+	}
+	defer engine.Shutdown()
+	fmt.Printf("launched %s (master + 2 workers)\n", spec.Version(0))
+
+	session, err := workload.OpenKeepalive(k, spec.Port, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer session.Close()
+	if _, err := workload.KeepaliveRequest(session, "GET /one"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("client session established")
+
+	// Attempt 1: the new version is built WITHOUT the MCR annotation, so
+	// its startup aborts when it detects the running instance's pidfile.
+	fmt.Println("\n== update attempt without the running-instance annotation ==")
+	servers.SetHttpdHonorMCRAnnotation(false)
+	rep, err := engine.Update(spec.Version(1))
+	servers.SetHttpdHonorMCRAnnotation(true)
+	if err == nil {
+		log.Fatal("update unexpectedly succeeded")
+	}
+	fmt.Printf("update failed as designed: %v\n", err)
+	fmt.Printf("rolled back: %v; running version: %s\n", rep.RolledBack, engine.Current().Version())
+
+	resp, err := workload.KeepaliveRequest(session, "GET /still-alive")
+	if err != nil {
+		log.Fatalf("session lost across rollback: %v", err)
+	}
+	fmt.Printf("client unaffected by the failed attempt: %.60s\n", resp)
+
+	// Attempt 2: with the annotation, the same update goes through.
+	fmt.Println("\n== same update with the 8-LOC annotation ==")
+	rep, err = engine.Update(spec.Version(1))
+	if err != nil {
+		log.Fatalf("annotated update failed: %v", err)
+	}
+	fmt.Printf("updated to %s in %v (no client disruption either way)\n",
+		engine.Current().Version(), rep.TotalTime)
+	resp, err = workload.KeepaliveRequest(session, "GET /after")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client on the new version: %.60s\n", resp)
+}

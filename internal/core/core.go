@@ -1,0 +1,302 @@
+// Package core is the MCR engine: it ties quiescence detection, mutable
+// reinitialization and mutable tracing into the atomic three-phase live
+// update of §3 — CHECKPOINT the running version, RESTART the new version
+// from scratch under replay, REMAP the checkpointed state — with automatic
+// rollback on any conflict or failure. It also hosts the mcr-ctl control
+// surface.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/program"
+	"repro/internal/quiesce"
+	"repro/internal/reinit"
+	"repro/internal/replaylog"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// Engine errors.
+var (
+	ErrNotRunning   = errors.New("core: no running instance")
+	ErrUpdateFailed = errors.New("core: update failed and was rolled back")
+)
+
+// Options configures the engine.
+type Options struct {
+	// Policy is the tracing opacity policy (default: the paper's).
+	Policy types.Policy
+	// TransferLibs opts specific shared libraries into state transfer.
+	TransferLibs map[string]bool
+	// Instr is the instrumentation level for launched instances
+	// (default InstrQDet; lower levels cannot live-update).
+	Instr program.Instr
+	// ReplayStrategy selects the startup-log matching algorithm
+	// (default call-stack IDs; global ordering for the ablation).
+	ReplayStrategy replaylog.Strategy
+	// Profiler, when set, is attached to launched instances.
+	Profiler *quiesce.Profiler
+	// QuiesceTimeout bounds quiescence convergence (default 5s).
+	QuiesceTimeout time.Duration
+	// StartupTimeout bounds new-version startup (default 10s).
+	StartupTimeout time.Duration
+	// RegionInstrumented enables custom-allocator instrumentation
+	// (nginxreg).
+	RegionInstrumented bool
+	// DisableDirtyFilter transfers all state, ignoring soft-dirty bits
+	// (ablation).
+	DisableDirtyFilter bool
+	// PolicySet marks Policy as explicitly provided (a zero Policy is the
+	// fully-precise ablation).
+	PolicySet bool
+}
+
+func (o *Options) fill() {
+	if !o.PolicySet {
+		o.Policy = types.DefaultPolicy()
+	}
+	if o.Instr == 0 {
+		o.Instr = program.InstrQDet
+	}
+	if o.QuiesceTimeout == 0 {
+		o.QuiesceTimeout = 5 * time.Second
+	}
+	if o.StartupTimeout == 0 {
+		o.StartupTimeout = 10 * time.Second
+	}
+}
+
+// UpdateReport is the timing and outcome breakdown of one live update —
+// the three update-time components §8 evaluates, plus transfer statistics.
+type UpdateReport struct {
+	QuiesceTime          time.Duration // checkpoint: barrier convergence
+	ControlMigrationTime time.Duration // restart: v2 startup under replay
+	StateTransferTime    time.Duration // remap: mutable tracing
+	TotalTime            time.Duration
+
+	Replayed, LiveExecuted, Conflicted int
+	Transfer                           trace.Stats
+	FDsCollected                       int
+
+	RolledBack bool
+	Reason     error
+}
+
+// Engine manages the live-update lifecycle of one server program.
+type Engine struct {
+	kern *kernel.Kernel
+	opts Options
+
+	mu      sync.Mutex
+	current *program.Instance
+	history []*UpdateReport
+}
+
+// NewEngine builds an engine over the shared kernel.
+func NewEngine(k *kernel.Kernel, opts Options) *Engine {
+	opts.fill()
+	return &Engine{kern: k, opts: opts}
+}
+
+// Kernel returns the engine's kernel.
+func (e *Engine) Kernel() *kernel.Kernel { return e.kern }
+
+// Current returns the running instance.
+func (e *Engine) Current() *program.Instance {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.current
+}
+
+// History returns the reports of all attempted updates.
+func (e *Engine) History() []*UpdateReport {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*UpdateReport, len(e.history))
+	copy(out, e.history)
+	return out
+}
+
+// Launch starts the initial program version: run startup to the first
+// quiescent state (recording the startup log), complete the startup phase
+// (seal log, clear soft-dirty bits) and resume into normal service.
+func (e *Engine) Launch(v *program.Version) (*program.Instance, error) {
+	e.mu.Lock()
+	if e.current != nil {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("core: an instance of %s is already running", e.current.Version())
+	}
+	e.mu.Unlock()
+
+	inst, err := program.NewInstance(v, e.kern, program.Options{
+		Instr:              e.opts.Instr,
+		Profiler:           e.opts.Profiler,
+		RegionInstrumented: e.opts.RegionInstrumented,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := inst.Start(); err != nil {
+		return nil, err
+	}
+	if err := inst.WaitStartup(e.opts.StartupTimeout); err != nil {
+		inst.Terminate()
+		return nil, fmt.Errorf("core: launch %s: %w", v, err)
+	}
+	inst.CompleteStartup()
+	inst.Resume()
+	e.mu.Lock()
+	e.current = inst
+	e.mu.Unlock()
+	return inst, nil
+}
+
+// Update performs one atomic live update to the new version. On success
+// the old version is terminated and the new one is serving; on any
+// conflict or failure the new version is discarded and the old version
+// resumes from its checkpoint — clients never observe a failed attempt.
+func (e *Engine) Update(v2 *program.Version) (*UpdateReport, error) {
+	e.mu.Lock()
+	old := e.current
+	e.mu.Unlock()
+	if old == nil {
+		return nil, ErrNotRunning
+	}
+	rep := &UpdateReport{}
+	start := time.Now()
+	defer func() {
+		rep.TotalTime = time.Since(start)
+		e.mu.Lock()
+		e.history = append(e.history, rep)
+		e.mu.Unlock()
+	}()
+
+	// --- CHECKPOINT: quiesce the running version -----------------------
+	qd, err := old.Quiesce(e.opts.QuiesceTimeout)
+	if err != nil {
+		old.Resume()
+		rep.RolledBack = true
+		rep.Reason = err
+		return rep, fmt.Errorf("%w: quiescence: %v", ErrUpdateFailed, err)
+	}
+	rep.QuiesceTime = qd
+
+	// Update-time analysis of the old version: immutable-object marking
+	// for the startup logs, conservative tracing analysis for memory.
+	reinit.MarkLogs(old)
+	analyses, err := trace.AnalyzeInstance(old, e.opts.Policy, e.opts.TransferLibs)
+	if err != nil {
+		return rep, e.rollback(old, nil, rep, fmt.Errorf("analysis: %w", err))
+	}
+	plan, reserve, pinnedStatics := trace.CombinedPlacement(analyses)
+
+	// --- RESTART: new version under mutable reinitialization -----------
+	cmStart := time.Now()
+	mgr := reinit.NewManager(old, e.opts.ReplayStrategy)
+	newInst, err := program.NewInstance(v2, e.kern, program.Options{
+		Instr:              e.opts.Instr,
+		Profiler:           e.opts.Profiler,
+		Interceptor:        mgr,
+		OnProcCreated:      mgr.OnProcCreated,
+		PinnedStatics:      pinnedStatics,
+		RegionInstrumented: e.opts.RegionInstrumented,
+	})
+	if err != nil {
+		return rep, e.rollback(old, nil, rep, err)
+	}
+	if err := reinit.InheritPlacement(newInst.Root(), plan, reserve); err != nil {
+		return rep, e.rollback(old, newInst, rep, err)
+	}
+	if err := newInst.Start(); err != nil {
+		return rep, e.rollback(old, newInst, rep, err)
+	}
+	if err := newInst.WaitStartup(e.opts.StartupTimeout); err != nil {
+		return rep, e.rollback(old, newInst, rep, err)
+	}
+	// Omitted-operation conflicts: unconsumed immutable records.
+	if left := mgr.Leftovers(); len(left) > 0 {
+		var first replaylog.Record
+		for _, recs := range left {
+			first = recs[0]
+			break
+		}
+		return rep, e.rollback(old, newInst, rep,
+			fmt.Errorf("%w: startup omitted recorded operation %s", program.ErrConflict, first))
+	}
+	// Volatile quiescent states: run the version's reinitialization
+	// handlers to respawn session handlers, then re-converge.
+	if handlers := v2.Annotations.ReinitHandlers(); len(handlers) > 0 {
+		ri := &program.ReinitInfo{
+			New:        newInst,
+			Sessions:   reinit.Sessions(old),
+			OldThreads: old.ThreadsInfo(),
+		}
+		for _, h := range handlers {
+			if err := h(ri); err != nil {
+				return rep, e.rollback(old, newInst, rep, fmt.Errorf("reinit handler: %w", err))
+			}
+		}
+		if _, err := newInst.Barrier().WaitQuiesced(e.opts.QuiesceTimeout); err != nil {
+			return rep, e.rollback(old, newInst, rep, err)
+		}
+		// A reconstructed thread that died with an error deregisters from
+		// the barrier, so convergence alone does not prove success.
+		if errs := newInst.Errors(); len(errs) > 0 {
+			return rep, e.rollback(old, newInst, rep, errs[0])
+		}
+	}
+	newInst.CompleteStartup()
+	rep.ControlMigrationTime = time.Since(cmStart)
+	rep.Replayed, rep.LiveExecuted, rep.Conflicted = mgr.ReplayStats()
+
+	// --- REMAP: mutable tracing state transfer -------------------------
+	stStart := time.Now()
+	stats, err := trace.TransferInstance(old, newInst, analyses, trace.Options{
+		Policy:             e.opts.Policy,
+		TransferLibs:       e.opts.TransferLibs,
+		DisableDirtyFilter: e.opts.DisableDirtyFilter,
+	})
+	rep.Transfer = stats
+	if err != nil {
+		return rep, e.rollback(old, newInst, rep, err)
+	}
+	rep.StateTransferTime = time.Since(stStart)
+
+	// --- COMMIT ---------------------------------------------------------
+	rep.FDsCollected = reinit.CollectUnused(old, newInst)
+	reinit.ReservedModeOff(newInst)
+	old.Terminate()
+	newInst.Resume()
+	e.mu.Lock()
+	e.current = newInst
+	e.mu.Unlock()
+	return rep, nil
+}
+
+// rollback discards the (partially started) new instance and resumes the
+// old version from its checkpoint, preserving the atomic update semantics.
+func (e *Engine) rollback(old, new *program.Instance, rep *UpdateReport, cause error) error {
+	if new != nil {
+		new.Terminate()
+	}
+	old.Resume()
+	rep.RolledBack = true
+	rep.Reason = cause
+	return fmt.Errorf("%w: %v", ErrUpdateFailed, cause)
+}
+
+// Shutdown terminates the running instance.
+func (e *Engine) Shutdown() {
+	e.mu.Lock()
+	inst := e.current
+	e.current = nil
+	e.mu.Unlock()
+	if inst != nil {
+		inst.Terminate()
+	}
+}

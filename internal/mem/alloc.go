@@ -1,0 +1,526 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// Allocator errors.
+var (
+	ErrBadFree    = errors.New("mem: free of unknown or already-free address")
+	ErrBusy       = errors.New("mem: fixed-address range overlaps a live object")
+	ErrAllocFail  = errors.New("mem: allocation failed")
+	ErrNotDynamic = errors.New("mem: address is not a heap object")
+)
+
+const (
+	// chunkHeaderSize is the in-band per-chunk metadata: size+flags word,
+	// allocation-site tag, data-type tag and padding, mirroring the paper's
+	// in-band allocator metadata (the +SInstr overhead of Table 3 and part
+	// of the memory overhead of §8). Sized to keep user data 16-aligned.
+	chunkHeaderSize = 32
+	chunkAlign      = 16
+	minChunkSize    = chunkHeaderSize + chunkAlign
+	heapGrowQuantum = 1 << 20 // sbrk growth granularity
+)
+
+// Header flag bits stored in the low bits of the size word (chunk sizes are
+// 16-aligned so the low 4 bits are free, as in ptmalloc).
+const (
+	flagInUse   = 1 << 0
+	flagStartup = 1 << 1
+)
+
+// AllocStats summarizes allocator activity for the memory experiments.
+type AllocStats struct {
+	LiveObjects   int
+	LiveBytes     uint64 // user bytes in live chunks
+	MetadataBytes uint64 // in-band header bytes for live chunks
+	TotalAllocs   uint64
+	TotalFrees    uint64
+	DeferredFrees int
+	HeapBytes     uint64 // current brk - heap base
+}
+
+// Allocator is a ptmalloc-style heap allocator over a simulated address
+// space: bump allocation from the top chunk plus size-segregated free
+// lists, in-band chunk headers, and the two MCR-specific behaviours the
+// paper requires of the glibc allocator: deferred frees during startup
+// (global separability: no startup-time address reuse) and fixed-address
+// allocation (global reallocation of immutable heap objects).
+type Allocator struct {
+	mu    sync.Mutex
+	as    *AddressSpace
+	index *ObjectIndex
+
+	regionName string
+	base       Addr
+	brk        Addr // first unused address
+	limit      Addr // current end of heap region mapping
+
+	bins       map[uint64][]Addr // chunk size -> free chunk starts
+	freeByAddr map[Addr]uint64   // free chunk start -> chunk size
+
+	startup   bool
+	deferFree bool
+	tagging   bool
+	deferred  []Addr
+
+	// plan forces specific (site, seq) allocations to fixed addresses:
+	// the global-reallocation support of §5, by which the new version's
+	// startup code re-creates immutable heap objects at their old
+	// addresses ("enforce a given memory layout in a fresh heap state").
+	plan map[PlanKey]Addr
+
+	siteSeq map[uint64]uint64
+
+	stats AllocStats
+}
+
+// NewAllocator maps a heap region at base and returns an allocator over it.
+// The object index is shared with the rest of the process (statics, libs)
+// so conservative scanning sees a single live-object universe.
+func NewAllocator(as *AddressSpace, ix *ObjectIndex, base Addr, name string) (*Allocator, error) {
+	if err := as.Map(base, heapGrowQuantum, RegionHeap, name); err != nil {
+		return nil, fmt.Errorf("mem: map heap: %w", err)
+	}
+	return &Allocator{
+		as:         as,
+		index:      ix,
+		regionName: name,
+		base:       base,
+		brk:        base,
+		limit:      base + heapGrowQuantum,
+		bins:       make(map[uint64][]Addr),
+		freeByAddr: make(map[Addr]uint64),
+		siteSeq:    make(map[uint64]uint64),
+		tagging:    true,
+	}, nil
+}
+
+// Index returns the shared object index.
+func (a *Allocator) Index() *ObjectIndex { return a.index }
+
+// Space returns the underlying address space.
+func (a *Allocator) Space() *AddressSpace { return a.as }
+
+// SetStartupMode toggles the startup flag stamped into new chunks. MCR's
+// instrumentation flags startup-time heap objects in allocator metadata so
+// replay-time inheritance can identify them unambiguously.
+func (a *Allocator) SetStartupMode(on bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.startup = on
+}
+
+// SetTagging toggles writing in-band relocation/type tags into chunk
+// headers. Off below the +SInstr instrumentation level: the allocator
+// still works, but no tag metadata (and none of its write overhead or
+// memory cost) exists, so such an instance cannot be precisely traced.
+func (a *Allocator) SetTagging(on bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.tagging = on
+}
+
+// SetDeferFree toggles deferred frees. While enabled, Free only queues the
+// address; FlushDeferred releases the queue. This enforces global
+// separability: no heap address allocated during startup is reused until
+// control migration completes.
+func (a *Allocator) SetDeferFree(on bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.deferFree = on
+}
+
+// FlushDeferred releases all deferred frees.
+func (a *Allocator) FlushDeferred() error {
+	a.mu.Lock()
+	q := a.deferred
+	a.deferred = nil
+	a.mu.Unlock()
+	for _, addr := range q {
+		if err := a.Free(addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func chunkSizeFor(userSize uint64) uint64 {
+	if userSize == 0 {
+		userSize = 1
+	}
+	return chunkHeaderSize + (userSize+chunkAlign-1)&^uint64(chunkAlign-1)
+}
+
+// typeTagID derives the stable in-band tag value for a type.
+func typeTagID(t *types.Type) uint64 {
+	if t == nil {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(t.String()))
+	return h.Sum64()
+}
+
+// PlanKey identifies one allocation across versions: the allocation-site
+// call-stack ID plus the per-site ordinal.
+type PlanKey struct {
+	Site uint64
+	Seq  uint64
+}
+
+// SetPlacementPlan installs the global-reallocation plan. Subsequent
+// allocations whose (site, seq) appear in the plan are placed at the
+// given fixed addresses.
+func (a *Allocator) SetPlacementPlan(plan map[PlanKey]Addr) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.plan = plan
+}
+
+// Alloc allocates a chunk for size user bytes, tags it with the data type
+// (nil means an uninstrumented/opaque allocation) and allocation-site
+// call-stack ID, registers the object, and returns it.
+func (a *Allocator) Alloc(size uint64, t *types.Type, site uint64) (*Object, error) {
+	if a.planned(site) {
+		a.mu.Lock()
+		key := PlanKey{Site: site, Seq: a.siteSeq[site] + 1}
+		forced, ok := a.plan[key]
+		a.mu.Unlock()
+		if ok {
+			return a.AllocAt(forced, size, t, site)
+		}
+	}
+	a.mu.Lock()
+	addr, err := a.carveLocked(chunkSizeFor(size))
+	if err != nil {
+		a.mu.Unlock()
+		return nil, err
+	}
+	o := a.finishAllocLocked(addr, size, t, site)
+	tagged := a.tagging
+	a.mu.Unlock()
+	if tagged {
+		if err := a.writeHeader(o); err != nil {
+			return nil, err
+		}
+	}
+	if err := a.index.Insert(o); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// AllocRaw allocates a chunk without registering an object, for custom
+// (region/slab) allocators that carve it up themselves. The returned
+// address is the user-data start; size bytes are usable.
+func (a *Allocator) AllocRaw(size uint64) (Addr, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	addr, err := a.carveLocked(chunkSizeFor(size))
+	if err != nil {
+		return 0, err
+	}
+	a.freeByAddrCheck(addr)
+	a.writeRawHeader(addr, chunkSizeFor(size))
+	a.stats.TotalAllocs++
+	return addr + chunkHeaderSize, nil
+}
+
+func (a *Allocator) planned(site uint64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.plan) > 0
+}
+
+func (a *Allocator) freeByAddrCheck(addr Addr) {
+	// Defensive: a carved chunk must never still be on the free list.
+	if _, ok := a.freeByAddr[addr]; ok {
+		panic(fmt.Sprintf("mem: carved chunk %#x still on free list", addr))
+	}
+}
+
+// finishAllocLocked builds the Object for a carved chunk.
+func (a *Allocator) finishAllocLocked(chunkStart Addr, userSize uint64, t *types.Type, site uint64) *Object {
+	a.siteSeq[site]++
+	o := &Object{
+		Addr:    chunkStart + chunkHeaderSize,
+		Size:    userSize,
+		Type:    t,
+		Site:    site,
+		Seq:     a.siteSeq[site],
+		Startup: a.startup,
+		Kind:    ObjHeap,
+	}
+	a.stats.TotalAllocs++
+	a.stats.LiveObjects++
+	a.stats.LiveBytes += userSize
+	if a.tagging {
+		a.stats.MetadataBytes += chunkHeaderSize
+	}
+	return o
+}
+
+// carveLocked obtains a chunk of exactly chunkSize bytes: exact-fit bin
+// reuse first, then bump allocation from the top.
+func (a *Allocator) carveLocked(chunkSize uint64) (Addr, error) {
+	if lst := a.bins[chunkSize]; len(lst) > 0 {
+		addr := lst[len(lst)-1]
+		a.bins[chunkSize] = lst[:len(lst)-1]
+		delete(a.freeByAddr, addr)
+		return addr, nil
+	}
+	for a.brk+Addr(chunkSize) > a.limit {
+		if err := a.as.GrowRegion(a.regionName, heapGrowQuantum); err != nil {
+			return 0, fmt.Errorf("%w: heap growth: %v", ErrAllocFail, err)
+		}
+		a.limit += heapGrowQuantum
+	}
+	addr := a.brk
+	a.brk += Addr(chunkSize)
+	return addr, nil
+}
+
+func (a *Allocator) writeHeader(o *Object) error {
+	chunkStart := o.Addr - chunkHeaderSize
+	sizeWord := chunkSizeFor(o.Size) | flagInUse
+	if o.Startup {
+		sizeWord |= flagStartup
+	}
+	if err := a.as.WriteWord(chunkStart, sizeWord); err != nil {
+		return err
+	}
+	if err := a.as.WriteWord(chunkStart+8, o.Site); err != nil {
+		return err
+	}
+	return a.as.WriteWord(chunkStart+16, typeTagID(o.Type))
+}
+
+func (a *Allocator) writeRawHeader(chunkStart Addr, chunkSize uint64) {
+	// Raw chunks are always in use and untagged.
+	_ = a.as.WriteWord(chunkStart, chunkSize|flagInUse)
+	_ = a.as.WriteWord(chunkStart+8, 0)
+	_ = a.as.WriteWord(chunkStart+16, 0)
+}
+
+// AllocAt allocates a chunk whose user data starts exactly at addr,
+// implementing global reallocation of immutable heap objects: "Heap
+// objects require dedicated allocator support to enforce a given memory
+// layout in a fresh heap state" (§5). The target range must not overlap a
+// live object.
+func (a *Allocator) AllocAt(addr Addr, size uint64, t *types.Type, site uint64) (*Object, error) {
+	chunkSize := chunkSizeFor(size)
+	chunkStart := addr - chunkHeaderSize
+	chunkEnd := chunkStart + Addr(chunkSize)
+
+	a.mu.Lock()
+	// Reject overlap with live objects up front.
+	if o, ok := a.index.OverlappingRange(chunkStart, chunkEnd); ok {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("%w: %#x overlaps %s", ErrBusy, addr, o)
+	}
+	if err := a.reserveRangeLocked(chunkStart, chunkEnd); err != nil {
+		a.mu.Unlock()
+		return nil, err
+	}
+	o := a.finishAllocLocked(chunkStart, size, t, site)
+	tagged := a.tagging
+	a.mu.Unlock()
+
+	if tagged {
+		if err := a.writeHeader(o); err != nil {
+			return nil, err
+		}
+	}
+	if err := a.index.Insert(o); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// reserveRangeLocked makes [start, end) unavailable to future allocations:
+// beyond brk it advances the top (returning the skipped gap to the free
+// lists); below brk it consumes the free chunks covering the range.
+func (a *Allocator) reserveRangeLocked(start, end Addr) error {
+	if start < a.base {
+		return fmt.Errorf("%w: %#x below heap base %#x", ErrBusy, start, a.base)
+	}
+	if start >= a.brk {
+		// Entirely in the untouched top area: free the gap, advance brk.
+		gap := uint64(start - a.brk)
+		for end > a.limit {
+			if err := a.as.GrowRegion(a.regionName, heapGrowQuantum); err != nil {
+				return fmt.Errorf("%w: heap growth: %v", ErrAllocFail, err)
+			}
+			a.limit += heapGrowQuantum
+		}
+		if gap >= minChunkSize {
+			a.addFreeChunkLocked(a.brk, gap)
+		}
+		a.brk = end
+		return nil
+	}
+	// Below brk: the range must be fully covered by free chunks (possibly
+	// spilling into the top area).
+	cur := start
+	for cur < end && cur < a.brk {
+		fc, fcSize, ok := a.freeChunkCoveringLocked(cur)
+		if !ok {
+			return fmt.Errorf("%w: %#x not free", ErrBusy, cur)
+		}
+		a.removeFreeChunkLocked(fc, fcSize)
+		// Return the leading and trailing leftovers.
+		if lead := uint64(start - fc); fc < start && lead >= minChunkSize {
+			a.addFreeChunkLocked(fc, lead)
+		}
+		fcEnd := fc + Addr(fcSize)
+		if fcEnd > end {
+			if tail := uint64(fcEnd - end); tail >= minChunkSize {
+				a.addFreeChunkLocked(end, tail)
+			}
+			cur = end
+		} else {
+			cur = fcEnd
+		}
+	}
+	if cur < end {
+		// Spills past brk into the top area.
+		for end > a.limit {
+			if err := a.as.GrowRegion(a.regionName, heapGrowQuantum); err != nil {
+				return fmt.Errorf("%w: heap growth: %v", ErrAllocFail, err)
+			}
+			a.limit += heapGrowQuantum
+		}
+		a.brk = end
+	}
+	return nil
+}
+
+func (a *Allocator) freeChunkCoveringLocked(addr Addr) (Addr, uint64, bool) {
+	// Scan the free map for a chunk containing addr. Free chunks are few at
+	// state-transfer time, so a linear scan is acceptable.
+	for start, size := range a.freeByAddr {
+		if addr >= start && addr < start+Addr(size) {
+			return start, size, true
+		}
+	}
+	return 0, 0, false
+}
+
+func (a *Allocator) addFreeChunkLocked(start Addr, size uint64) {
+	a.bins[size] = append(a.bins[size], start)
+	a.freeByAddr[start] = size
+	// In-band free metadata (next-pointer would live here in ptmalloc):
+	// clear the in-use bit.
+	_ = a.as.WriteWord(start, size)
+}
+
+func (a *Allocator) removeFreeChunkLocked(start Addr, size uint64) {
+	lst := a.bins[size]
+	for i, c := range lst {
+		if c == start {
+			a.bins[size] = append(lst[:i], lst[i+1:]...)
+			break
+		}
+	}
+	delete(a.freeByAddr, start)
+}
+
+// Free releases the object whose user data starts at addr. In deferred
+// mode the release is queued instead (startup-time separability).
+func (a *Allocator) Free(addr Addr) error {
+	a.mu.Lock()
+	if a.deferFree {
+		a.deferred = append(a.deferred, addr)
+		a.stats.DeferredFrees++
+		a.mu.Unlock()
+		return nil
+	}
+	a.mu.Unlock()
+
+	o, ok := a.index.Remove(addr)
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrBadFree, addr)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	chunkStart := addr - chunkHeaderSize
+	a.addFreeChunkLocked(chunkStart, chunkSizeFor(o.Size))
+	a.stats.TotalFrees++
+	a.stats.LiveObjects--
+	a.stats.LiveBytes -= o.Size
+	if a.tagging {
+		a.stats.MetadataBytes -= chunkHeaderSize
+	}
+	return nil
+}
+
+// FreeRaw releases a chunk obtained from AllocRaw.
+func (a *Allocator) FreeRaw(addr Addr, size uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.addFreeChunkLocked(addr-chunkHeaderSize, chunkSizeFor(size))
+	a.stats.TotalFrees++
+}
+
+// StartupObjects returns all live startup-flagged heap objects, the
+// inheritance set mutable reinitialization reallocates in the new version.
+func (a *Allocator) StartupObjects() []*Object {
+	var out []*Object
+	for _, o := range a.index.All() {
+		if o.Kind == ObjHeap && o.Startup {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Stats returns a snapshot of allocator statistics.
+func (a *Allocator) Stats() AllocStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := a.stats
+	s.HeapBytes = uint64(a.brk - a.base)
+	s.DeferredFrees = len(a.deferred)
+	return s
+}
+
+// AlignBrk advances the bump pointer to the next boundary multiple,
+// leaking the gap. MCR calls this when startup completes so that
+// post-startup allocations never share (and therefore never dirty) a page
+// holding clean startup-time state.
+func (a *Allocator) AlignBrk(boundary uint64) {
+	if boundary == 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	aligned := Addr((uint64(a.brk) + boundary - 1) &^ (boundary - 1))
+	for aligned > a.limit {
+		if err := a.as.GrowRegion(a.regionName, heapGrowQuantum); err != nil {
+			return
+		}
+		a.limit += heapGrowQuantum
+	}
+	a.brk = aligned
+}
+
+// FreeChunks returns the current free-list intervals sorted by address
+// (test and diagnostic hook).
+func (a *Allocator) FreeChunks() []Region {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Region, 0, len(a.freeByAddr))
+	for start, size := range a.freeByAddr {
+		out = append(out, Region{Start: start, Size: size, Kind: RegionHeap, Name: "free"})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}

@@ -1,0 +1,457 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func newHeap(t *testing.T) *Allocator {
+	if t != nil {
+		t.Helper()
+	}
+	as := NewAddressSpace()
+	ix := NewObjectIndex()
+	a, err := NewAllocator(as, ix, testBase, "heap")
+	if err != nil {
+		if t != nil {
+			t.Fatalf("NewAllocator: %v", err)
+		}
+		panic(err)
+	}
+	return a
+}
+
+var listT = types.StructOf("l_t",
+	types.Field{Name: "value", Type: types.Scalar(types.KindInt32)},
+	types.Field{Name: "next", Type: types.PointerTo(nil)},
+)
+
+func TestAllocBasics(t *testing.T) {
+	a := newHeap(t)
+	o, err := a.Alloc(16, listT, 0x111)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if o.Addr%chunkAlign != 0 {
+		t.Errorf("user address %#x not %d-aligned", o.Addr, chunkAlign)
+	}
+	if o.Type != listT || o.Site != 0x111 || o.Seq != 1 {
+		t.Errorf("object tags = %+v", o)
+	}
+	// The object is registered and findable.
+	got, ok := a.Index().At(o.Addr)
+	if !ok || got != o {
+		t.Error("allocated object not in index")
+	}
+	// Writes succeed within the chunk.
+	if err := a.Space().WriteWord(o.Addr+8, 0xfeed); err != nil {
+		t.Errorf("write into chunk: %v", err)
+	}
+}
+
+func TestAllocSeqPerSite(t *testing.T) {
+	a := newHeap(t)
+	for want := uint64(1); want <= 3; want++ {
+		o, err := a.Alloc(16, listT, 0xA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Seq != want {
+			t.Errorf("site A seq = %d, want %d", o.Seq, want)
+		}
+	}
+	o, _ := a.Alloc(16, listT, 0xB)
+	if o.Seq != 1 {
+		t.Errorf("site B seq = %d, want 1 (independent counter)", o.Seq)
+	}
+}
+
+func TestAllocDistinct(t *testing.T) {
+	a := newHeap(t)
+	var prev *Object
+	for i := 0; i < 100; i++ {
+		o, err := a.Alloc(48, nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && o.Addr < prev.End() {
+			t.Fatalf("chunk %d at %#x overlaps previous ending %#x", i, o.Addr, prev.End())
+		}
+		prev = o
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	a := newHeap(t)
+	o1, _ := a.Alloc(64, nil, 1)
+	addr1 := o1.Addr
+	if err := a.Free(addr1); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if _, ok := a.Index().At(addr1); ok {
+		t.Error("freed object still in index")
+	}
+	// Same-size allocation reuses the chunk (ptmalloc bin behaviour).
+	o2, _ := a.Alloc(64, nil, 1)
+	if o2.Addr != addr1 {
+		t.Errorf("reallocation at %#x, want reused %#x", o2.Addr, addr1)
+	}
+}
+
+func TestDoubleFreeFails(t *testing.T) {
+	a := newHeap(t)
+	o, _ := a.Alloc(32, nil, 1)
+	if err := a.Free(o.Addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(o.Addr); !errors.Is(err, ErrBadFree) {
+		t.Errorf("double free err = %v, want ErrBadFree", err)
+	}
+	if err := a.Free(0x999); !errors.Is(err, ErrBadFree) {
+		t.Errorf("bogus free err = %v, want ErrBadFree", err)
+	}
+}
+
+func TestDeferredFreeSeparability(t *testing.T) {
+	a := newHeap(t)
+	a.SetDeferFree(true)
+	o1, _ := a.Alloc(64, nil, 1)
+	addr1 := o1.Addr
+	if err := a.Free(addr1); err != nil {
+		t.Fatal(err)
+	}
+	// Address must NOT be reused while frees are deferred.
+	o2, _ := a.Alloc(64, nil, 1)
+	if o2.Addr == addr1 {
+		t.Fatal("deferred-freed address was reused during startup")
+	}
+	if _, ok := a.Index().At(addr1); !ok {
+		t.Error("deferred-freed object vanished from index before flush")
+	}
+	a.SetDeferFree(false)
+	if err := a.FlushDeferred(); err != nil {
+		t.Fatalf("FlushDeferred: %v", err)
+	}
+	if _, ok := a.Index().At(addr1); ok {
+		t.Error("object still live after flush")
+	}
+	o3, _ := a.Alloc(64, nil, 1)
+	if o3.Addr != addr1 {
+		t.Errorf("post-flush alloc at %#x, want reuse of %#x", o3.Addr, addr1)
+	}
+}
+
+func TestStartupFlag(t *testing.T) {
+	a := newHeap(t)
+	a.SetStartupMode(true)
+	s, _ := a.Alloc(16, nil, 1)
+	a.SetStartupMode(false)
+	d, _ := a.Alloc(16, nil, 1)
+	if !s.Startup || d.Startup {
+		t.Errorf("startup flags = %v/%v, want true/false", s.Startup, d.Startup)
+	}
+	list := a.StartupObjects()
+	if len(list) != 1 || list[0] != s {
+		t.Errorf("StartupObjects = %v", list)
+	}
+	// The flag is visible in the in-band header too.
+	w, err := a.Space().ReadWord(s.Addr - chunkHeaderSize)
+	if err != nil || w&flagStartup == 0 {
+		t.Errorf("header word %#x missing startup flag (err %v)", w, err)
+	}
+}
+
+func TestAllocAtBeyondBrk(t *testing.T) {
+	a := newHeap(t)
+	a.Alloc(64, nil, 1)
+	target := a.brk + 0x10000 + chunkHeaderSize
+	o, err := a.AllocAt(target, 128, listT, 7)
+	if err != nil {
+		t.Fatalf("AllocAt: %v", err)
+	}
+	if o.Addr != target {
+		t.Errorf("AllocAt placed at %#x, want %#x", o.Addr, target)
+	}
+	// Subsequent normal allocations continue above it.
+	o2, _ := a.Alloc(64, nil, 1)
+	if o2.Addr < o.End() {
+		t.Errorf("next alloc %#x inside fixed chunk ending %#x", o2.Addr, o.End())
+	}
+	// The skipped gap is recycled eventually: a gap-sized alloc fits below.
+	free := a.FreeChunks()
+	if len(free) == 0 {
+		t.Error("gap below fixed chunk not returned to free lists")
+	}
+}
+
+func TestAllocAtOverLiveObjectFails(t *testing.T) {
+	a := newHeap(t)
+	o, _ := a.Alloc(128, nil, 1)
+	if _, err := a.AllocAt(o.Addr+16, 32, nil, 1); !errors.Is(err, ErrBusy) {
+		t.Errorf("AllocAt over live object err = %v, want ErrBusy", err)
+	}
+}
+
+func TestAllocAtInFreedChunk(t *testing.T) {
+	a := newHeap(t)
+	o1, _ := a.Alloc(256, nil, 1)
+	a.Alloc(64, nil, 1) // plug so brk moves past o1
+	target := o1.Addr
+	if err := a.Free(o1.Addr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.AllocAt(target, 256, nil, 2)
+	if err != nil {
+		t.Fatalf("AllocAt into freed chunk: %v", err)
+	}
+	if got.Addr != target {
+		t.Errorf("AllocAt at %#x, want %#x", got.Addr, target)
+	}
+}
+
+func TestAllocAtBelowHeapBaseFails(t *testing.T) {
+	a := newHeap(t)
+	if _, err := a.AllocAt(testBase-0x1000, 16, nil, 1); !errors.Is(err, ErrBusy) {
+		t.Errorf("AllocAt below base err = %v, want ErrBusy", err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	a := newHeap(t)
+	o1, _ := a.Alloc(100, nil, 1)
+	a.Alloc(50, nil, 1)
+	s := a.Stats()
+	if s.LiveObjects != 2 || s.LiveBytes != 150 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.MetadataBytes != 2*chunkHeaderSize {
+		t.Errorf("metadata = %d, want %d", s.MetadataBytes, 2*chunkHeaderSize)
+	}
+	a.Free(o1.Addr)
+	s = a.Stats()
+	if s.LiveObjects != 1 || s.LiveBytes != 50 || s.TotalFrees != 1 {
+		t.Errorf("stats after free = %+v", s)
+	}
+}
+
+// Property: any interleaving of allocs and frees never yields overlapping
+// live chunks, and every live object remains findable by interior pointer.
+func TestQuickAllocNoOverlap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		a := newHeap(nil)
+		var live []*Object
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				idx := int(op/3) % len(live)
+				if a.Free(live[idx].Addr) != nil {
+					return false
+				}
+				live = append(live[:idx], live[idx+1:]...)
+				continue
+			}
+			size := uint64(op%512) + 1
+			o, err := a.Alloc(size, nil, uint64(op%7))
+			if err != nil {
+				return false
+			}
+			live = append(live, o)
+		}
+		// No pairwise overlap among live objects.
+		for i, x := range live {
+			for _, y := range live[i+1:] {
+				if x.Addr < y.End() && y.Addr < x.End() {
+					return false
+				}
+			}
+			// Interior lookup resolves to the right object.
+			mid := x.Addr + Addr(x.Size/2)
+			got, ok := a.Index().Containing(mid)
+			if !ok || got != x {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObjectIndexOverlapRejected(t *testing.T) {
+	ix := NewObjectIndex()
+	if err := ix.Insert(&Object{Addr: 0x1000, Size: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(&Object{Addr: 0x1020, Size: 64}); err == nil {
+		t.Error("overlapping insert succeeded")
+	}
+	if err := ix.Insert(&Object{Addr: 0x1040, Size: 16}); err != nil {
+		t.Errorf("adjacent insert failed: %v", err)
+	}
+}
+
+func TestObjectIndexOnPages(t *testing.T) {
+	ix := NewObjectIndex()
+	a := &Object{Addr: 0x1000, Size: 64}
+	b := &Object{Addr: 0x1FF0, Size: 64} // straddles pages 1 and 2
+	c := &Object{Addr: 0x5000, Size: 64}
+	for _, o := range []*Object{a, b, c} {
+		if err := ix.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := ix.OnPages([]Addr{0x1000})
+	if len(got) != 2 {
+		t.Fatalf("OnPages(page1) = %v, want a and b", got)
+	}
+	got = ix.OnPages([]Addr{0x2000})
+	if len(got) != 1 || got[0] != b {
+		t.Fatalf("OnPages(page2) = %v, want straddling b", got)
+	}
+	got = ix.OnPages([]Addr{0x1000, 0x2000, 0x5000})
+	if len(got) != 3 {
+		t.Fatalf("OnPages(all) = %v, want 3 distinct", got)
+	}
+}
+
+func TestSegmentPlacement(t *testing.T) {
+	as := NewAddressSpace()
+	ix := NewObjectIndex()
+	seg, err := NewSegment(as, ix, 0x600000, 0x10000, RegionStatic, ObjStatic, "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := seg.Place("b", types.ArrayOf(8, types.Scalar(types.KindUint8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := seg.Place("conf", types.PointerTo(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.Addr%8 != 0 {
+		t.Errorf("pointer global at %#x not aligned", conf.Addr)
+	}
+	if conf.Addr < b.End() {
+		t.Error("globals overlap")
+	}
+	if b.Kind != ObjStatic || b.Name != "b" {
+		t.Errorf("object = %+v", b)
+	}
+	// Segment-full detection.
+	if _, err := seg.Place("huge", types.ArrayOf(0x20000, types.Scalar(types.KindUint8))); err == nil {
+		t.Error("oversized placement succeeded")
+	}
+}
+
+func TestRegionAllocatorUninstrumented(t *testing.T) {
+	a := newHeap(t)
+	before := a.Index().Len()
+	r := NewRegionAllocator(a, "pool", 4096, false)
+	p1, err := r.Alloc(100, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := r.Alloc(100, nil, 1)
+	if p2 < p1+100 {
+		t.Error("region allocations overlap")
+	}
+	// Only the opaque chunk blob is tracked, not the sub-allocations.
+	if got := a.Index().Len() - before; got != 1 {
+		t.Errorf("tracked objects = %d, want 1 opaque chunk", got)
+	}
+	blob, ok := a.Index().Containing(p1)
+	if !ok || blob.Type != nil {
+		t.Errorf("region chunk = %+v, want opaque", blob)
+	}
+	if err := r.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Index().Len() - before; got != 0 {
+		t.Errorf("objects after destroy = %d, want 0", got)
+	}
+}
+
+func TestRegionAllocatorInstrumented(t *testing.T) {
+	a := newHeap(t)
+	before := a.Index().Len()
+	r := NewRegionAllocator(a, "pool", 4096, true)
+	p1, err := r.Alloc(16, listT, 0x77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, ok := a.Index().At(p1)
+	if !ok || o.Type != listT || o.Site != 0x77 {
+		t.Fatalf("instrumented sub-allocation not tagged: %+v", o)
+	}
+	if got := a.Index().Len() - before; got != 1 {
+		t.Errorf("tracked objects = %d, want 1 typed sub-object", got)
+	}
+	// Alloc after destroy fails.
+	r.Destroy()
+	if _, err := r.Alloc(16, listT, 0x77); err == nil {
+		t.Error("alloc on destroyed region succeeded")
+	}
+}
+
+func TestNestedRegions(t *testing.T) {
+	a := newHeap(t)
+	parent := NewRegionAllocator(a, "parent", 4096, false)
+	child := parent.NewSubRegion("child")
+	if _, err := child.Alloc(64, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parent.Alloc(64, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	held := parent.BytesHeld()
+	if held == 0 {
+		t.Error("BytesHeld = 0")
+	}
+	// Destroying the parent destroys the child too (httpd semantics).
+	if err := parent.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := child.Alloc(1, nil, 1); err == nil {
+		t.Error("child alloc after parent destroy succeeded")
+	}
+}
+
+func TestSlabAllocator(t *testing.T) {
+	a := newHeap(t)
+	s := NewSlabAllocator(a, "conn", 48, false, nil)
+	x, err := s.Alloc(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := s.Alloc(1)
+	if x == y {
+		t.Error("distinct slab allocs returned same slot")
+	}
+	// Aggressive reuse: freed slot is handed out again immediately.
+	s.Free(x)
+	z, _ := s.Alloc(1)
+	if z != x {
+		t.Errorf("slab reuse: got %#x, want %#x", z, x)
+	}
+}
+
+func TestSlabAllocatorInstrumented(t *testing.T) {
+	a := newHeap(t)
+	s := NewSlabAllocator(a, "conn", 16, true, listT)
+	x, err := s.Alloc(0x9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, ok := a.Index().At(x)
+	if !ok || o.Type != listT {
+		t.Fatalf("slab object not tagged: %+v", o)
+	}
+	s.Free(x)
+	if _, ok := a.Index().At(x); ok {
+		t.Error("freed slab object still tagged")
+	}
+}

@@ -1,0 +1,100 @@
+package mem
+
+import "testing"
+
+func TestAddressSpaceCloneIndependence(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(0x1000, 2*PageSize, RegionHeap, "h")
+	as.WriteWord(0x1000, 111)
+	as.ClearSoftDirty()
+	as.WriteWord(0x1008, 222) // dirty in parent pre-fork
+
+	cl := as.Clone()
+	// The clone sees the parent's data and dirty bits.
+	if v, _ := cl.ReadWord(0x1000); v != 111 {
+		t.Errorf("clone word = %d, want 111", v)
+	}
+	if !cl.PageSoftDirty(0x1000) {
+		t.Error("soft-dirty bit not inherited across fork")
+	}
+	// Post-fork writes do not leak either way.
+	cl.WriteWord(0x1000, 333)
+	if v, _ := as.ReadWord(0x1000); v != 111 {
+		t.Errorf("parent saw child write: %d", v)
+	}
+	as.WriteWord(0x1000, 444)
+	if v, _ := cl.ReadWord(0x1000); v != 333 {
+		t.Errorf("child saw parent write: %d", v)
+	}
+	// Region changes diverge too.
+	if err := cl.Map(0x100000, PageSize, RegionMmap, "child-only"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := as.RegionAt(0x100000); ok {
+		t.Error("parent sees child mapping")
+	}
+}
+
+func TestObjectIndexCloneIndependence(t *testing.T) {
+	ix := NewObjectIndex()
+	o := &Object{Addr: 0x1000, Size: 64, Name: "g"}
+	ix.Insert(o)
+	cl := ix.Clone()
+	co, ok := cl.At(0x1000)
+	if !ok || co.Name != "g" {
+		t.Fatal("clone missing object")
+	}
+	if co == o {
+		t.Fatal("clone shares object struct with parent")
+	}
+	cl.Remove(0x1000)
+	if _, ok := ix.At(0x1000); !ok {
+		t.Error("removing from clone affected parent")
+	}
+	// Interior lookup works in the clone.
+	ix2 := ix.Clone()
+	got, ok := ix2.Containing(0x1020)
+	if !ok || got.Addr != 0x1000 {
+		t.Error("clone page buckets broken")
+	}
+}
+
+func TestAllocatorCloneDiverges(t *testing.T) {
+	as := NewAddressSpace()
+	ix := NewObjectIndex()
+	a, err := NewAllocator(as, ix, testBase, "heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parentObj, _ := a.Alloc(64, nil, 0x1)
+
+	cas := as.Clone()
+	cix := ix.Clone()
+	ca := a.CloneInto(cas, cix)
+
+	// Child sees the parent's pre-fork object.
+	if _, ok := ca.Index().At(parentObj.Addr); !ok {
+		t.Fatal("child missing pre-fork object")
+	}
+	// Allocations after the fork land at the same address in both (same
+	// brk), but in different address spaces.
+	po, _ := a.Alloc(32, nil, 0x2)
+	co, _ := ca.Alloc(32, nil, 0x2)
+	if po.Addr != co.Addr {
+		t.Errorf("post-fork allocs diverged: %#x vs %#x", po.Addr, co.Addr)
+	}
+	if po.Seq != co.Seq {
+		t.Errorf("site seq diverged: %d vs %d", po.Seq, co.Seq)
+	}
+	// Freeing in the child does not free in the parent.
+	if err := ca.Free(co.Addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Index().At(po.Addr); !ok {
+		t.Error("child free removed parent object")
+	}
+	// Parent and child stats diverge.
+	if a.Stats().TotalFrees != 0 || ca.Stats().TotalFrees != 1 {
+		t.Error("stats shared between parent and child")
+	}
+}

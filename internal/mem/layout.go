@@ -1,0 +1,118 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Segment lays out named objects contiguously inside one mapped region: the
+// linker's view of a data segment or a (pre-linked) shared-library image.
+// MCR inherits immutable static objects "using a linker script" (§5); the
+// deterministic placement this type provides is that script's equivalent.
+// Different program versions use different base addresses, reproducing the
+// cross-version layout shifts (compiler changes, ASLR) that force state
+// transfer to relocate objects.
+type Segment struct {
+	as     *AddressSpace
+	ix     *ObjectIndex
+	region Region
+	cursor Addr
+	kind   ObjKind
+}
+
+// NewSegment maps a region of the given size at base and returns a segment
+// allocator over it. objKind should be ObjStatic for data segments and
+// ObjLib for library images.
+func NewSegment(as *AddressSpace, ix *ObjectIndex, base Addr, size uint64, rk RegionKind, ok ObjKind, name string) (*Segment, error) {
+	if err := as.Map(base, size, rk, name); err != nil {
+		return nil, err
+	}
+	return &Segment{
+		as:     as,
+		ix:     ix,
+		region: Region{Start: base, Size: size, Kind: rk, Name: name},
+		cursor: base,
+		kind:   ok,
+	}, nil
+}
+
+// Place lays out a named object of type t at the next aligned address and
+// registers it. Static objects carry no allocation site (Site 0); they are
+// matched across versions by symbol name.
+func (s *Segment) Place(name string, t *types.Type) (*Object, error) {
+	if t == nil {
+		return nil, fmt.Errorf("mem: Place %q: nil type", name)
+	}
+	a := t.Align
+	if a == 0 {
+		a = 1
+	}
+	addr := Addr((uint64(s.cursor) + a - 1) &^ (a - 1))
+	if addr+Addr(t.Size) > s.region.End() {
+		return nil, fmt.Errorf("mem: segment %q full placing %q", s.region.Name, name)
+	}
+	o := &Object{Addr: addr, Size: t.Size, Type: t, Kind: s.kind, Name: name, Startup: true}
+	if err := s.ix.Insert(o); err != nil {
+		return nil, err
+	}
+	s.cursor = addr + Addr(t.Size)
+	return o, nil
+}
+
+// PlaceOpaque lays out a named untyped blob (e.g. uninstrumented library
+// state, string tables) of the given size.
+func (s *Segment) PlaceOpaque(name string, size uint64) (*Object, error) {
+	addr := Addr((uint64(s.cursor) + types.WordSize - 1) &^ (types.WordSize - 1))
+	if addr+Addr(size) > s.region.End() {
+		return nil, fmt.Errorf("mem: segment %q full placing %q", s.region.Name, name)
+	}
+	o := &Object{Addr: addr, Size: size, Kind: s.kind, Name: name, Startup: true}
+	if err := s.ix.Insert(o); err != nil {
+		return nil, err
+	}
+	s.cursor = addr + Addr(size)
+	return o, nil
+}
+
+// PlaceAt lays out a named object at an exact address inside the segment,
+// used when pre-linking a library copy so it occupies the same addresses as
+// in the old version.
+func (s *Segment) PlaceAt(addr Addr, name string, t *types.Type) (*Object, error) {
+	if addr < s.region.Start || addr+Addr(t.Size) > s.region.End() {
+		return nil, fmt.Errorf("mem: PlaceAt %q %#x outside segment %q", name, addr, s.region.Name)
+	}
+	o := &Object{Addr: addr, Size: t.Size, Type: t, Kind: s.kind, Name: name, Startup: true}
+	if err := s.ix.Insert(o); err != nil {
+		return nil, err
+	}
+	if addr+Addr(t.Size) > s.cursor {
+		s.cursor = addr + Addr(t.Size)
+	}
+	return o, nil
+}
+
+// SetCursor moves the placement cursor (used to shift layouts between
+// program versions within the same region, modelling cross-version layout
+// changes). The cursor can only move forward past already-placed objects.
+func (s *Segment) SetCursor(addr Addr) error {
+	if addr < s.cursor || addr > s.region.End() {
+		return fmt.Errorf("mem: SetCursor %#x outside [%#x,%#x]", addr, s.cursor, s.region.End())
+	}
+	s.cursor = addr
+	return nil
+}
+
+// NewSegmentView returns a segment bound to an already-mapped region in a
+// (possibly cloned) address space, resuming placement at cursor. Used
+// after fork: the child continues placing stack metadata in its own copy
+// of the parent's stack region.
+func NewSegmentView(as *AddressSpace, ix *ObjectIndex, region Region, cursor Addr, ok ObjKind) *Segment {
+	return &Segment{as: as, ix: ix, region: region, cursor: cursor, kind: ok}
+}
+
+// Region returns the segment's mapped region.
+func (s *Segment) Region() Region { return s.region }
+
+// Used returns the number of laid-out bytes.
+func (s *Segment) Used() uint64 { return uint64(s.cursor - s.region.Start) }

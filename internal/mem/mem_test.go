@@ -1,0 +1,226 @@
+package mem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+const testBase Addr = 0x02000000
+
+func newSpace(t *testing.T) *AddressSpace {
+	t.Helper()
+	return NewAddressSpace()
+}
+
+func TestMapAndRW(t *testing.T) {
+	as := newSpace(t)
+	if err := as.Map(0x1000, 0x4000, RegionStatic, "data"); err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	want := []byte("hello, world")
+	if err := as.WriteAt(0x1100, want); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	got := make([]byte, len(want))
+	if err := as.ReadAt(0x1100, got); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("read back %q, want %q", got, want)
+	}
+}
+
+func TestRWCrossesPages(t *testing.T) {
+	as := newSpace(t)
+	if err := as.Map(0x1000, 3*PageSize, RegionStatic, "data"); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2*PageSize)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	addr := Addr(0x1000 + PageSize - 100) // straddles two page boundaries
+	if err := as.WriteAt(addr, buf); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	got := make([]byte, len(buf))
+	if err := as.ReadAt(addr, got); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Error("cross-page read mismatch")
+	}
+}
+
+func TestUnmappedAccessFails(t *testing.T) {
+	as := newSpace(t)
+	if err := as.WriteAt(0x5000, []byte{1}); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("write unmapped: err = %v, want ErrUnmapped", err)
+	}
+	if err := as.ReadAt(0x5000, make([]byte, 1)); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("read unmapped: err = %v, want ErrUnmapped", err)
+	}
+	// Range that starts mapped but runs off the end must also fail.
+	if err := as.Map(0x1000, PageSize, RegionStatic, "d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.WriteAt(0x1000+PageSize-4, make([]byte, 8)); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("straddling write: err = %v, want ErrUnmapped", err)
+	}
+}
+
+func TestMapOverlapRejected(t *testing.T) {
+	as := newSpace(t)
+	if err := as.Map(0x1000, 0x2000, RegionStatic, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(0x2000, 0x2000, RegionHeap, "b"); !errors.Is(err, ErrOverlap) {
+		t.Errorf("overlapping Map err = %v, want ErrOverlap", err)
+	}
+	// Adjacent is fine.
+	if err := as.Map(0x3000, 0x1000, RegionHeap, "c"); err != nil {
+		t.Errorf("adjacent Map: %v", err)
+	}
+}
+
+func TestUnmapDropsPages(t *testing.T) {
+	as := newSpace(t)
+	if err := as.Map(0x1000, PageSize, RegionMmap, "m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.WriteAt(0x1000, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Unmap(0x1000); err != nil {
+		t.Fatalf("Unmap: %v", err)
+	}
+	if err := as.ReadAt(0x1000, make([]byte, 1)); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("read after unmap: err = %v, want ErrUnmapped", err)
+	}
+	// Remap reads zeroes, not stale data.
+	if err := as.Map(0x1000, PageSize, RegionMmap, "m2"); err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	if err := as.ReadAt(0x1000, b[:]); err != nil || b[0] != 0 {
+		t.Errorf("remapped page: read %d, %v; want 0, nil", b[0], err)
+	}
+}
+
+func TestWords(t *testing.T) {
+	as := newSpace(t)
+	if err := as.Map(0x1000, PageSize, RegionStatic, "d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.WriteWord(0x1008, 0xdeadbeefcafe); err != nil {
+		t.Fatal(err)
+	}
+	v, err := as.ReadWord(0x1008)
+	if err != nil || v != 0xdeadbeefcafe {
+		t.Errorf("ReadWord = %#x, %v", v, err)
+	}
+	if err := as.WriteUint32(0x1010, 0x12345678); err != nil {
+		t.Fatal(err)
+	}
+	u, err := as.ReadUint32(0x1010)
+	if err != nil || u != 0x12345678 {
+		t.Errorf("ReadUint32 = %#x, %v", u, err)
+	}
+}
+
+func TestSoftDirtySemantics(t *testing.T) {
+	as := newSpace(t)
+	if err := as.Map(0x1000, 4*PageSize, RegionHeap, "h"); err != nil {
+		t.Fatal(err)
+	}
+	// Touch pages 0 and 2.
+	as.WriteAt(0x1000, []byte{1})
+	as.WriteAt(0x1000+2*PageSize, []byte{1})
+	dirty := as.SoftDirtyPages()
+	if len(dirty) != 2 {
+		t.Fatalf("dirty pages = %v, want 2 entries", dirty)
+	}
+
+	// clear_refs equivalent: everything clean afterwards.
+	as.ClearSoftDirty()
+	if n := len(as.SoftDirtyPages()); n != 0 {
+		t.Fatalf("after clear: %d dirty pages, want 0", n)
+	}
+
+	// First write after clearing re-dirties exactly that page.
+	as.WriteAt(0x1000+2*PageSize+100, []byte{9})
+	dirty = as.SoftDirtyPages()
+	if len(dirty) != 1 || dirty[0] != 0x1000+2*PageSize {
+		t.Fatalf("dirty after write = %v, want [page 2]", dirty)
+	}
+	if as.PageSoftDirty(0x1000) {
+		t.Error("untouched page reported dirty")
+	}
+	if !as.PageSoftDirty(0x1000 + 2*PageSize + 500) {
+		t.Error("written page reported clean")
+	}
+
+	// Reads never dirty.
+	as.ClearSoftDirty()
+	as.ReadAt(0x1000, make([]byte, PageSize))
+	if n := len(as.SoftDirtyPages()); n != 0 {
+		t.Errorf("read dirtied %d pages", n)
+	}
+}
+
+func TestRSSAccounting(t *testing.T) {
+	as := newSpace(t)
+	if err := as.Map(0x1000, 100*PageSize, RegionHeap, "h"); err != nil {
+		t.Fatal(err)
+	}
+	if as.RSSBytes() != 0 {
+		t.Errorf("RSS before any touch = %d, want 0", as.RSSBytes())
+	}
+	as.WriteAt(0x1000, []byte{1})
+	as.WriteAt(0x1000+50*PageSize, []byte{1})
+	if as.RSSBytes() != 2*PageSize {
+		t.Errorf("RSS = %d, want %d", as.RSSBytes(), 2*PageSize)
+	}
+	if as.MappedBytes() != 100*PageSize {
+		t.Errorf("MappedBytes = %d", as.MappedBytes())
+	}
+}
+
+func TestRegionAt(t *testing.T) {
+	as := newSpace(t)
+	as.Map(0x1000, 0x1000, RegionStatic, "data")
+	as.Map(0x10000, 0x1000, RegionHeap, "heap")
+	r, ok := as.RegionAt(0x10800)
+	if !ok || r.Name != "heap" {
+		t.Errorf("RegionAt = %+v, %v", r, ok)
+	}
+	if _, ok := as.RegionAt(0x5000); ok {
+		t.Error("RegionAt found a region in a hole")
+	}
+	if !as.Mapped(0x1000, 0x1000) {
+		t.Error("Mapped(data) = false")
+	}
+	if as.Mapped(0x1000, 0x2000) {
+		t.Error("Mapped across hole = true")
+	}
+}
+
+func TestGrowRegion(t *testing.T) {
+	as := newSpace(t)
+	as.Map(0x1000, 0x1000, RegionHeap, "h")
+	if err := as.GrowRegion("h", 0x1000); err != nil {
+		t.Fatalf("GrowRegion: %v", err)
+	}
+	if err := as.WriteAt(0x1800, []byte{1}); err != nil {
+		t.Errorf("write into grown area: %v", err)
+	}
+	// Growth into a following region must fail.
+	as.Map(0x3000, 0x1000, RegionMmap, "m")
+	if err := as.GrowRegion("h", 0x2000); !errors.Is(err, ErrOverlap) {
+		t.Errorf("colliding growth err = %v, want ErrOverlap", err)
+	}
+	if err := as.GrowRegion("nope", 1); !errors.Is(err, ErrNoRegion) {
+		t.Errorf("unknown region err = %v, want ErrNoRegion", err)
+	}
+}

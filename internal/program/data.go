@@ -1,0 +1,173 @@
+package program
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/types"
+)
+
+// Typed memory access. Server code manipulates its state exclusively
+// through these helpers so every store lands in the simulated address
+// space (where soft-dirty tracking and tracing can see it), exactly as C
+// code manipulates its own process image.
+
+// Malloc allocates a typed heap object; the allocation site is the calling
+// thread's current call-stack ID (what the paper's allocation-site static
+// analysis computes per callsite).
+func (th *Thread) Malloc(typeName string) (*mem.Object, error) {
+	t, ok := th.proc.inst.version.Types.Lookup(typeName)
+	if !ok {
+		return nil, fmt.Errorf("program: Malloc: unknown type %q", typeName)
+	}
+	return th.proc.heap.Alloc(t.Size, t, th.StackID())
+}
+
+// MallocBytes allocates an untyped heap buffer (an uninstrumented
+// allocation: no type tag, opaque to precise tracing).
+func (th *Thread) MallocBytes(size uint64) (*mem.Object, error) {
+	return th.proc.heap.Alloc(size, nil, th.StackID())
+}
+
+// Free releases a heap object.
+func (th *Thread) Free(o *mem.Object) error {
+	return th.proc.heap.Free(o.Addr)
+}
+
+// ResolveField walks a dotted field path (e.g. "conf.workers" relative to
+// the object's type) and returns the absolute address and type of the
+// final field. An empty path resolves to the object itself.
+func ResolveField(o *mem.Object, path string) (mem.Addr, *types.Type, error) {
+	t := o.Type
+	addr := o.Addr
+	if path == "" {
+		return addr, t, nil
+	}
+	for _, part := range strings.Split(path, ".") {
+		if t == nil {
+			return 0, nil, fmt.Errorf("program: field %q of untyped object", part)
+		}
+		if t.Kind != types.KindStruct && t.Kind != types.KindUnion {
+			return 0, nil, fmt.Errorf("program: field %q of non-aggregate %s", part, t)
+		}
+		f, ok := t.FieldByName(part)
+		if !ok {
+			return 0, nil, fmt.Errorf("program: no field %q in %s", part, t)
+		}
+		addr += mem.Addr(f.Offset)
+		t = f.Type
+	}
+	return addr, t, nil
+}
+
+// WriteField stores a scalar (integer or pointer) value into a field.
+func (p *Proc) WriteField(o *mem.Object, path string, val uint64) error {
+	addr, t, err := ResolveField(o, path)
+	if err != nil {
+		return err
+	}
+	return p.writeScalar(addr, t, val)
+}
+
+func (p *Proc) writeScalar(addr mem.Addr, t *types.Type, val uint64) error {
+	size := uint64(types.WordSize)
+	if t != nil {
+		size = t.Size
+	}
+	switch size {
+	case 1:
+		return p.as.WriteAt(addr, []byte{byte(val)})
+	case 2:
+		return p.as.WriteAt(addr, []byte{byte(val), byte(val >> 8)})
+	case 4:
+		return p.as.WriteUint32(addr, uint32(val))
+	case 8:
+		return p.as.WriteWord(addr, val)
+	default:
+		return fmt.Errorf("program: scalar write of %d-byte field", size)
+	}
+}
+
+// ReadField loads a scalar field value (zero-extended).
+func (p *Proc) ReadField(o *mem.Object, path string) (uint64, error) {
+	addr, t, err := ResolveField(o, path)
+	if err != nil {
+		return 0, err
+	}
+	size := uint64(types.WordSize)
+	if t != nil {
+		size = t.Size
+	}
+	switch size {
+	case 1:
+		var b [1]byte
+		err = p.as.ReadAt(addr, b[:])
+		return uint64(b[0]), err
+	case 2:
+		var b [2]byte
+		err = p.as.ReadAt(addr, b[:])
+		return uint64(b[0]) | uint64(b[1])<<8, err
+	case 4:
+		v, err := p.as.ReadUint32(addr)
+		return uint64(v), err
+	case 8:
+		return p.as.ReadWord(addr)
+	default:
+		return 0, fmt.Errorf("program: scalar read of %d-byte field", size)
+	}
+}
+
+// SetPtr stores a pointer to target into a field (nil target stores NULL).
+func (p *Proc) SetPtr(o *mem.Object, path string, target *mem.Object) error {
+	var val uint64
+	if target != nil {
+		val = uint64(target.Addr)
+	}
+	return p.WriteField(o, path, val)
+}
+
+// ReadPtr loads a pointer field and resolves it to the pointed-to live
+// object (nil, false for NULL or dangling values).
+func (p *Proc) ReadPtr(o *mem.Object, path string) (*mem.Object, bool) {
+	v, err := p.ReadField(o, path)
+	if err != nil || v == 0 {
+		return nil, false
+	}
+	return p.index.Containing(mem.Addr(v))
+}
+
+// WriteBytes stores raw bytes at a byte offset inside an object.
+func (p *Proc) WriteBytes(o *mem.Object, off uint64, b []byte) error {
+	if off+uint64(len(b)) > o.Size {
+		return fmt.Errorf("program: write of %d bytes at +%d overflows %s", len(b), off, o)
+	}
+	return p.as.WriteAt(o.Addr+mem.Addr(off), b)
+}
+
+// ReadBytes loads n raw bytes from a byte offset inside an object.
+func (p *Proc) ReadBytes(o *mem.Object, off, n uint64) ([]byte, error) {
+	if off+n > o.Size {
+		return nil, fmt.Errorf("program: read of %d bytes at +%d overflows %s", n, off, o)
+	}
+	b := make([]byte, n)
+	err := p.as.ReadAt(o.Addr+mem.Addr(off), b)
+	return b, err
+}
+
+// WriteWordAt stores a raw 64-bit word at a byte offset inside an object
+// (the "hidden pointer in a char buffer" idiom of Listing 1/Figure 2).
+func (p *Proc) WriteWordAt(o *mem.Object, off uint64, val uint64) error {
+	if off+8 > o.Size {
+		return fmt.Errorf("program: word write at +%d overflows %s", off, o)
+	}
+	return p.as.WriteWord(o.Addr+mem.Addr(off), val)
+}
+
+// ReadWordAt loads a raw 64-bit word from a byte offset inside an object.
+func (p *Proc) ReadWordAt(o *mem.Object, off uint64) (uint64, error) {
+	if off+8 > o.Size {
+		return 0, fmt.Errorf("program: word read at +%d overflows %s", off, o)
+	}
+	return p.as.ReadWord(o.Addr + mem.Addr(off))
+}

@@ -1,0 +1,237 @@
+package quiesce
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Profiler implements MCR's quiescence profiler (§4): it observes a
+// program under an execution-stalling test workload and infers, per thread
+// class, (a) whether the class is short- or long-lived, (b) the long-lived
+// loop, and (c) the quiescent point — "the blocking call where a given
+// thread spends most of its time" — plus whether that point is persistent
+// (visible right after startup) or volatile (appears only later, e.g. in
+// dynamically spawned per-connection threads).
+type Profiler struct {
+	mu      sync.Mutex
+	classes map[string]*classProfile
+	active  bool
+}
+
+type classProfile struct {
+	name          string
+	startedDuring bool // first instance started during startup
+	liveThreads   int
+	everExited    bool
+	blockSites    map[string]time.Duration // callsite -> cumulative residency
+	loops         map[string]*loopProfile
+}
+
+type loopProfile struct {
+	name       string
+	depth      int
+	iterations uint64
+	exits      uint64
+}
+
+// NewProfiler returns an inactive profiler; Start begins sample collection.
+func NewProfiler() *Profiler {
+	return &Profiler{classes: make(map[string]*classProfile)}
+}
+
+// Start enables sample collection.
+func (p *Profiler) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.active = true
+}
+
+// Stop disables sample collection.
+func (p *Profiler) Stop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.active = false
+}
+
+func (p *Profiler) class(name string) *classProfile {
+	c := p.classes[name]
+	if c == nil {
+		c = &classProfile{
+			name:       name,
+			blockSites: make(map[string]time.Duration),
+			loops:      make(map[string]*loopProfile),
+		}
+		p.classes[name] = c
+	}
+	return c
+}
+
+// ThreadStarted records a thread of the given class starting.
+// duringStartup distinguishes persistent from volatile quiescent points.
+func (p *Profiler) ThreadStarted(class string, duringStartup bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c := p.class(class)
+	if c.liveThreads == 0 && !c.everExited && duringStartup {
+		c.startedDuring = true
+	}
+	c.liveThreads++
+}
+
+// ThreadEnded records a thread of the given class exiting.
+func (p *Profiler) ThreadEnded(class string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c := p.class(class)
+	c.liveThreads--
+	c.everExited = true
+}
+
+// RecordBlock attributes blocking-call residency to a callsite, the
+// statistical library-call profiling of §4.
+func (p *Profiler) RecordBlock(class, site string, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.active {
+		return
+	}
+	p.class(class).blockSites[site] += d
+}
+
+// RecordLoopIter attributes one iteration to a loop at the given nesting
+// depth (standard loop profiling).
+func (p *Profiler) RecordLoopIter(class, loop string, depth int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.active {
+		return
+	}
+	c := p.class(class)
+	lp := c.loops[loop]
+	if lp == nil {
+		lp = &loopProfile{name: loop, depth: depth}
+		c.loops[loop] = lp
+	}
+	lp.iterations++
+}
+
+// RecordLoopExit notes that a loop terminated during the workload,
+// disqualifying it as long-lived.
+func (p *Profiler) RecordLoopExit(class, loop string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c := p.class(class)
+	if lp := c.loops[loop]; lp != nil {
+		lp.exits++
+	}
+}
+
+// ThreadClass is one entry of the profiler report.
+type ThreadClass struct {
+	Name           string
+	LongLived      bool
+	Loop           string // deepest never-terminating loop ("" if short-lived)
+	QuiescentPoint string // blocking callsite with maximum residency
+	Persistent     bool   // visible right after startup
+}
+
+// Report summarizes a profiling run (the per-program quiescence report of
+// Table 1: SL, LL, QP, Per, Vol).
+type Report struct {
+	Classes []ThreadClass
+}
+
+// ShortLived returns the number of short-lived thread classes.
+func (r Report) ShortLived() int {
+	n := 0
+	for _, c := range r.Classes {
+		if !c.LongLived {
+			n++
+		}
+	}
+	return n
+}
+
+// LongLived returns the number of long-lived thread classes.
+func (r Report) LongLived() int { return len(r.Classes) - r.ShortLived() }
+
+// QuiescentPoints returns the number of quiescent points identified.
+func (r Report) QuiescentPoints() int {
+	n := 0
+	for _, c := range r.Classes {
+		if c.LongLived && c.QuiescentPoint != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Persistent returns the number of persistent quiescent points.
+func (r Report) Persistent() int {
+	n := 0
+	for _, c := range r.Classes {
+		if c.LongLived && c.QuiescentPoint != "" && c.Persistent {
+			n++
+		}
+	}
+	return n
+}
+
+// Volatile returns the number of volatile quiescent points.
+func (r Report) Volatile() int { return r.QuiescentPoints() - r.Persistent() }
+
+// Class returns the report entry for a class name.
+func (r Report) Class(name string) (ThreadClass, bool) {
+	for _, c := range r.Classes {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return ThreadClass{}, false
+}
+
+// Report produces the profiling report. A class is long-lived if at least
+// one thread of the class is still alive at report time; its loop is the
+// deepest loop that iterated but never exited; its quiescent point is the
+// highest-residency blocking site.
+func (p *Profiler) Report() Report {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var rep Report
+	names := make([]string, 0, len(p.classes))
+	for n := range p.classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := p.classes[n]
+		tc := ThreadClass{Name: n, Persistent: c.startedDuring}
+		if c.liveThreads > 0 {
+			tc.LongLived = true
+			// Deepest loop that never terminated.
+			best := -1
+			for _, lp := range c.loops {
+				if lp.exits == 0 && lp.iterations > 0 && lp.depth > best {
+					best = lp.depth
+					tc.Loop = lp.name
+				}
+			}
+			// Highest-residency blocking site.
+			var max time.Duration
+			sites := make([]string, 0, len(c.blockSites))
+			for s := range c.blockSites {
+				sites = append(sites, s)
+			}
+			sort.Strings(sites) // deterministic tie-break
+			for _, s := range sites {
+				if d := c.blockSites[s]; d > max {
+					max = d
+					tc.QuiescentPoint = s
+				}
+			}
+		}
+		rep.Classes = append(rep.Classes, tc)
+	}
+	return rep
+}

@@ -1,0 +1,287 @@
+package reinit
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/program"
+	"repro/internal/replaylog"
+	"repro/internal/types"
+)
+
+// forkerVersion is a master that opens two fds during startup — one kept
+// open (immutable), one closed again before serving (mutable) — and forks
+// a worker.
+func forkerVersion() *program.Version {
+	reg := types.NewRegistry()
+	reg.Define(types.StructOf("st",
+		types.Field{Name: "x", Type: types.Scalar(types.KindInt64)}))
+	return &program.Version{
+		Program: "forker", Release: "1.0", Types: reg,
+		Globals:     []program.GlobalSpec{{Name: "st", Type: "st"}},
+		Annotations: program.NewAnnotations(),
+		Main: func(t *program.Thread) error {
+			t.Enter("main")
+			defer t.Exit()
+			var lfd int
+			err := t.Call("init", func() error {
+				var err error
+				lfd, err = t.Socket()
+				if err != nil {
+					return err
+				}
+				if err := t.Bind(lfd, 6100); err != nil {
+					return err
+				}
+				if err := t.Listen(lfd, 16); err != nil {
+					return err
+				}
+				// A temporary fd closed before startup ends: mutable.
+				tmp, err := t.Socket()
+				if err != nil {
+					return err
+				}
+				if err := t.CloseFD(tmp); err != nil {
+					return err
+				}
+				_, err = t.ForkProc("worker", func(w *program.Thread) error {
+					return w.Loop("worker_loop", func() error {
+						_, _, err := w.AcceptQP("accept@worker", lfd)
+						if errors.Is(err, program.ErrStopped) {
+							return program.ErrLoopExit
+						}
+						return err
+					})
+				})
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			return t.Loop("master_loop", func() error {
+				if err := t.WaitQP("sigwait@master"); errors.Is(err, program.ErrStopped) {
+					return program.ErrLoopExit
+				}
+				return nil
+			})
+		},
+	}
+}
+
+func startForker(t *testing.T) *program.Instance {
+	t.Helper()
+	inst, err := program.NewInstance(forkerVersion(), kernel.New(), program.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.WaitStartup(5 * time.Second); err != nil {
+		t.Fatalf("startup: %v", err)
+	}
+	inst.CompleteStartup()
+	return inst
+}
+
+func TestMarkLogsLiveFDsOnly(t *testing.T) {
+	inst := startForker(t)
+	defer inst.Terminate()
+	MarkLogs(inst)
+	recs := inst.Root().Log().Records()
+	byCall := make(map[string][]replaylog.Record)
+	for _, r := range recs {
+		byCall[r.Call] = append(byCall[r.Call], r)
+	}
+	// socket+bind+listen on the live listener: immutable.
+	for _, call := range []string{"bind", "listen"} {
+		if len(byCall[call]) != 1 || !byCall[call][0].Immutable {
+			t.Errorf("%s record not immutable: %+v", call, byCall[call])
+		}
+	}
+	// Two socket records: the listener (immutable) and the temporary
+	// (closed -> mutable).
+	if len(byCall["socket"]) != 2 {
+		t.Fatalf("socket records = %d", len(byCall["socket"]))
+	}
+	imm := 0
+	for _, r := range byCall["socket"] {
+		if r.Immutable {
+			imm++
+		}
+	}
+	if imm != 1 {
+		t.Errorf("immutable socket records = %d, want 1", imm)
+	}
+	// close on a dead fd: mutable (re-executed live).
+	if len(byCall["close"]) != 1 || byCall["close"][0].Immutable {
+		t.Errorf("close record = %+v, want mutable", byCall["close"])
+	}
+	// fork: always immutable (pid pinning).
+	if len(byCall["fork"]) != 1 || !byCall["fork"][0].Immutable {
+		t.Errorf("fork record = %+v, want immutable", byCall["fork"])
+	}
+}
+
+func TestSessionsListsPostStartupProcs(t *testing.T) {
+	inst := startForker(t)
+	defer inst.Terminate()
+	// During startup only the worker (which has a log) exists: no
+	// sessions.
+	if s := Sessions(inst); len(s) != 0 {
+		t.Errorf("sessions = %v, want none", s)
+	}
+}
+
+func TestManagerReplayNewVersionStartup(t *testing.T) {
+	old := startForker(t)
+	defer old.Terminate()
+	if _, err := old.Quiesce(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	MarkLogs(old)
+	mgr := NewManager(old, replaylog.StrategyStackID)
+
+	newInst, err := program.NewInstance(forkerVersion(), old.Kernel(), program.Options{
+		Interceptor:   mgr,
+		OnProcCreated: mgr.OnProcCreated,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := newInst.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := newInst.WaitStartup(5 * time.Second); err != nil {
+		t.Fatalf("v2 startup under replay: %v", err)
+	}
+	defer newInst.Terminate()
+	newInst.CompleteStartup()
+
+	// Same pids restored (in a different namespace).
+	oldWorker := old.Procs()[1]
+	newWorker := newInst.Procs()[1]
+	if oldWorker.KProc().Pid() != newWorker.KProc().Pid() {
+		t.Errorf("worker pid %d != %d", newWorker.KProc().Pid(), oldWorker.KProc().Pid())
+	}
+	if oldWorker.KProc().Namespace() == newWorker.KProc().Namespace() {
+		t.Error("worker namespaces not separated")
+	}
+	// The listener fd is shared, not recreated.
+	oldObj, _ := old.Root().KProc().FD(3)
+	newObj, err := newInst.Root().KProc().FD(3)
+	if err != nil || oldObj != newObj {
+		t.Errorf("listener fd not inherited: %v", err)
+	}
+	// No leftovers, no conflicts; the temporary socket+close ran live.
+	if left := mgr.Leftovers(); len(left) != 0 {
+		t.Errorf("leftovers = %v", left)
+	}
+	replayed, live, conflicted := mgr.ReplayStats()
+	if conflicted != 0 {
+		t.Errorf("conflicts = %d", conflicted)
+	}
+	if replayed == 0 || live == 0 {
+		t.Errorf("replayed/live = %d/%d, want both nonzero", replayed, live)
+	}
+	// Live-executed startup fds land in the reserved range (separability):
+	// v2's own startup log records the temporary socket with a reserved
+	// number, so it can never clash with an inherited fd.
+	var sawReserved bool
+	for _, r := range newInst.Root().Log().Records() {
+		if r.Call == "socket" {
+			if fd, ok := r.Result.(int); ok && fd >= kernel.ReservedFDBase {
+				sawReserved = true
+			}
+		}
+	}
+	if !sawReserved {
+		t.Error("live-executed startup socket not in reserved fd range")
+	}
+}
+
+func TestManagerConflictOnOmittedOp(t *testing.T) {
+	old := startForker(t)
+	defer old.Terminate()
+	if _, err := old.Quiesce(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	MarkLogs(old)
+	mgr := NewManager(old, replaylog.StrategyStackID)
+
+	// v2 omits the listen call.
+	v2 := forkerVersion()
+	v2.Main = func(t *program.Thread) error {
+		t.Enter("main")
+		defer t.Exit()
+		err := t.Call("init", func() error {
+			lfd, err := t.Socket()
+			if err != nil {
+				return err
+			}
+			return t.Bind(lfd, 6100)
+		})
+		if err != nil {
+			return err
+		}
+		return t.Loop("master_loop", func() error {
+			if err := t.WaitQP("sigwait@master"); errors.Is(err, program.ErrStopped) {
+				return program.ErrLoopExit
+			}
+			return nil
+		})
+	}
+	newInst, err := program.NewInstance(v2, old.Kernel(), program.Options{
+		Interceptor:   mgr,
+		OnProcCreated: mgr.OnProcCreated,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := newInst.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := newInst.WaitStartup(5 * time.Second); err != nil {
+		t.Fatalf("startup: %v", err)
+	}
+	defer newInst.Terminate()
+	// The listen (and fork, worker-loop etc.) records were never
+	// consumed: leftovers flag the omission.
+	if left := mgr.Leftovers(); len(left) == 0 {
+		t.Error("omitted operations produced no leftovers")
+	}
+}
+
+func TestCollectUnusedAndReservedModeOff(t *testing.T) {
+	old := startForker(t)
+	defer old.Terminate()
+	if _, err := old.Quiesce(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	MarkLogs(old)
+	mgr := NewManager(old, replaylog.StrategyStackID)
+	newInst, err := program.NewInstance(forkerVersion(), old.Kernel(), program.Options{
+		Interceptor:   mgr,
+		OnProcCreated: mgr.OnProcCreated,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := newInst.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := newInst.WaitStartup(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	defer newInst.Terminate()
+	newInst.CompleteStartup()
+	_ = CollectUnused(old, newInst)
+	ReservedModeOff(newInst)
+	// New fds allocate normally again.
+	fd := newInst.Root().KProc().Socket()
+	if fd >= kernel.ReservedFDBase {
+		t.Errorf("post-migration fd %d still reserved", fd)
+	}
+}

@@ -1,0 +1,464 @@
+package servers
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/quiesce"
+	"repro/internal/workload"
+)
+
+func launch(t *testing.T, spec *Spec, opts core.Options) (*core.Engine, *kernel.Kernel) {
+	t.Helper()
+	k := kernel.New()
+	SeedFiles(k)
+	e := core.NewEngine(k, opts)
+	if _, err := e.Launch(spec.Version(0)); err != nil {
+		t.Fatalf("launch %s: %v", spec.Name, err)
+	}
+	return e, k
+}
+
+// TestProfileMatchesTable1 runs the quiescence profiler under each
+// server's profiling workload and checks the thread-class census against
+// the paper's Table 1.
+func TestProfileMatchesTable1(t *testing.T) {
+	for _, spec := range Catalog() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			prof := quiesce.NewProfiler()
+			prof.Start()
+			e, k := launch(t, spec, core.Options{Profiler: prof})
+			defer e.Shutdown()
+
+			sessions, err := workload.ProfileWorkload(k, spec.Name, spec.Port)
+			if err != nil {
+				t.Fatalf("profile workload: %v", err)
+			}
+			defer workload.CloseSessions(sessions)
+			// Let residency accumulate at the quiescent points.
+			time.Sleep(50 * time.Millisecond)
+			rep := prof.Report()
+
+			if got, want := rep.ShortLived(), spec.Paper.SL; got != want {
+				t.Errorf("short-lived classes = %d, want %d (classes %+v)", got, want, rep.Classes)
+			}
+			if got, want := rep.LongLived(), spec.Paper.LL; got != want {
+				t.Errorf("long-lived classes = %d, want %d (classes %+v)", got, want, rep.Classes)
+			}
+			if got, want := rep.QuiescentPoints(), spec.Paper.QP; got != want {
+				t.Errorf("quiescent points = %d, want %d", got, want)
+			}
+			if got, want := rep.Persistent(), spec.Paper.Per; got != want {
+				t.Errorf("persistent QPs = %d, want %d", got, want)
+			}
+			if got, want := rep.Volatile(), spec.Paper.Vol; got != want {
+				t.Errorf("volatile QPs = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestNginxServesAndCounts(t *testing.T) {
+	e, k := launch(t, NginxSpec(), core.Options{})
+	defer e.Shutdown()
+	s, err := workload.OpenKeepalive(k, NginxPort, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := workload.KeepaliveRequest(s, "GET / HTTP/1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp, "nginx/0.8.54") || !strings.Contains(resp, "req=2") {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestNginxLiveUpdateKeepsConnections(t *testing.T) {
+	e, k := launch(t, NginxSpec(), core.Options{})
+	defer e.Shutdown()
+	s, err := workload.OpenKeepalive(k, NginxPort, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := workload.KeepaliveRequest(s, "GET /a"); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := e.Update(NginxVersion(1))
+	if err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if rep.RolledBack {
+		t.Fatalf("rolled back: %v", rep.Reason)
+	}
+	resp, err := workload.KeepaliveRequest(s, "GET /b")
+	if err != nil {
+		t.Fatalf("post-update request: %v", err)
+	}
+	// Same connection, counter continued (this is request 3), new banner.
+	if !strings.Contains(resp, "nginx/0.8.54+u1") || !strings.Contains(resp, "req=3") {
+		t.Errorf("post-update resp = %q", resp)
+	}
+	// New connections work too.
+	s2, err := workload.OpenKeepalive(k, NginxPort, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+}
+
+func TestNginxFullUpdateStream(t *testing.T) {
+	// The paper's 25 sequential nginx updates (v0.8.54 -> v1.0.15),
+	// applied live under one persistent client connection.
+	if testing.Short() {
+		t.Skip("long")
+	}
+	spec := NginxSpec()
+	e, k := launch(t, spec, core.Options{})
+	defer e.Shutdown()
+	s, err := workload.OpenKeepalive(k, NginxPort, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	reqs := 1 // OpenKeepalive issued the first request
+	for i := 1; i < spec.NumVersions; i++ {
+		rep, err := e.Update(spec.Version(i))
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		if rep.RolledBack {
+			t.Fatalf("update %d rolled back: %v", i, rep.Reason)
+		}
+		resp, err := workload.KeepaliveRequest(s, fmt.Sprintf("GET /u%d", i))
+		if err != nil {
+			t.Fatalf("request after update %d: %v", i, err)
+		}
+		reqs++
+		wantBanner := "nginx/" + release("0.8.54", i)
+		if !strings.Contains(resp, wantBanner) {
+			t.Fatalf("update %d: resp %q missing %q", i, resp, wantBanner)
+		}
+		if !strings.Contains(resp, fmt.Sprintf("req=%d ", reqs)) {
+			t.Fatalf("update %d: counter lost: %q (want req=%d)", i, resp, reqs)
+		}
+	}
+}
+
+func TestVsftpdSessionSurvivesUpdate(t *testing.T) {
+	e, k := launch(t, VsftpdSpec(), core.Options{})
+	defer e.Shutdown()
+	s, err := workload.OpenFTP(k, VsftpdPort, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if resp, err := workload.FTPCommand(s, "LIST"); err != nil || !strings.Contains(resp, "readme.txt") {
+		t.Fatalf("LIST = %q, %v", resp, err)
+	}
+
+	rep, err := e.Update(VsftpdVersion(1))
+	if err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if rep.RolledBack {
+		t.Fatalf("rolled back: %v", rep.Reason)
+	}
+	// The session process was re-forked with the same pid and its state
+	// (auth, user, counters) transferred: STAT reflects the old counters
+	// and the new banner, without re-authenticating.
+	resp, err := workload.FTPCommand(s, "STAT")
+	if err != nil {
+		t.Fatalf("post-update STAT: %v", err)
+	}
+	if !strings.Contains(resp, "vsftpd 1.1.0+u1") {
+		t.Errorf("STAT = %q, want new banner", resp)
+	}
+	if !strings.Contains(resp, "cmds=4") { // USER, PASS, LIST + this STAT
+		t.Errorf("STAT = %q, want cmds=4 (state transferred)", resp)
+	}
+	// New sessions against the new version.
+	s2, err := workload.OpenFTP(k, VsftpdPort, "bob")
+	if err != nil {
+		t.Fatalf("new session after update: %v", err)
+	}
+	defer s2.Close()
+}
+
+func TestVsftpdInFlightTransferResumes(t *testing.T) {
+	e, k := launch(t, VsftpdSpec(), core.Options{})
+	defer e.Shutdown()
+	s, err := workload.OpenFTP(k, VsftpdPort, "carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := workload.EnterPassive(k, s); err != nil {
+		t.Fatal(err)
+	}
+	cc := s.Conns[0]
+	dc := s.Conns[1]
+	if err := cc.Send([]byte("RETR big.dat")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Recv(2 * time.Second); err != nil { // 150 opening
+		t.Fatal(err)
+	}
+	// Pull a few chunks, then update mid-transfer.
+	var got int
+	for i := 0; i < 3; i++ {
+		chunk, err := dc.Recv(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += len(chunk)
+		if err := dc.Send([]byte("ACK")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The server sends the next chunk on our last ACK and then waits.
+	// Drain it, then hold the next ACK during the update.
+	chunk, err := dc.Recv(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got += len(chunk)
+
+	rep, err := e.Update(VsftpdVersion(1))
+	if err != nil {
+		t.Fatalf("update mid-transfer: %v", err)
+	}
+	if rep.RolledBack {
+		t.Fatalf("rolled back: %v", rep.Reason)
+	}
+	// Resume the transfer: ACK and keep reading to completion.
+	if err := dc.Send([]byte("ACK")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	done := false
+	for !done {
+		if time.Now().After(deadline) {
+			t.Fatalf("transfer did not finish; got %d bytes", got)
+		}
+		msg, err := dc.Recv(2 * time.Second)
+		if err != nil {
+			t.Fatalf("mid-transfer recv: %v (got %d)", err, got)
+		}
+		if strings.HasPrefix(string(msg), "226 ") {
+			done = true
+			break
+		}
+		got += len(msg)
+		if err := dc.Send([]byte("ACK")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got != 1<<20 {
+		t.Errorf("transferred %d bytes, want %d (no loss, no duplication)", got, 1<<20)
+	}
+}
+
+func TestSshdSessionSurvivesUpdate(t *testing.T) {
+	e, k := launch(t, SshdSpec(), core.Options{})
+	defer e.Shutdown()
+	s, err := workload.OpenSSH(k, SshdPort, "root", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if out, err := workload.SSHExec(s, "ls"); err != nil || !strings.Contains(out, "req 1") {
+		t.Fatalf("exec = %q, %v", out, err)
+	}
+
+	rep, err := e.Update(SshdVersion(1))
+	if err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if rep.RolledBack {
+		t.Fatalf("rolled back: %v", rep.Reason)
+	}
+	out, err := workload.SSHExec(s, "uname")
+	if err != nil {
+		t.Fatalf("post-update exec: %v", err)
+	}
+	if !strings.Contains(out, "OpenSSH_3.5p1+u1") || !strings.Contains(out, "req 2") ||
+		!strings.Contains(out, "as root") {
+		t.Errorf("post-update exec = %q", out)
+	}
+	// A pre-auth session also survives and can authenticate afterwards.
+	pre, err := workload.OpenSSH(k, SshdPort, "dave", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pre.Close()
+	if _, err := e.Update(SshdVersion(2)); err != nil {
+		t.Fatalf("second update with pre-auth session: %v", err)
+	}
+	if resp, err := workload.SSHExec(pre, "x"); err == nil && resp == "AUTH_FAIL" {
+		t.Log("pre-auth session correctly still unauthenticated")
+	}
+}
+
+func TestHttpdServesAllRequestKinds(t *testing.T) {
+	old := SetHttpdPoolThreads(4)
+	defer SetHttpdPoolThreads(old)
+	e, k := launch(t, HttpdSpec(), core.Options{})
+	defer e.Shutdown()
+
+	ka, err := workload.OpenKeepalive(k, HttpdPort, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ka.Close()
+	if resp, err := workload.KeepaliveRequest(ka, "GET /x"); err != nil || !strings.Contains(resp, "ka-req") {
+		t.Fatalf("keepalive = %q, %v", resp, err)
+	}
+	cgi, err := workload.OpenCGI(k, HttpdPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cgi.Close()
+}
+
+func TestHttpdLiveUpdateKeepsKeepalives(t *testing.T) {
+	old := SetHttpdPoolThreads(4)
+	defer SetHttpdPoolThreads(old)
+	e, k := launch(t, HttpdSpec(), core.Options{})
+	defer e.Shutdown()
+
+	ka, err := workload.OpenKeepalive(k, HttpdPort, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ka.Close()
+	if _, err := workload.KeepaliveRequest(ka, "GET /pre"); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := e.Update(HttpdVersion(1))
+	if err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if rep.RolledBack {
+		t.Fatalf("rolled back: %v", rep.Reason)
+	}
+	resp, err := workload.KeepaliveRequest(ka, "GET /post")
+	if err != nil {
+		t.Fatalf("post-update keepalive: %v", err)
+	}
+	if !strings.Contains(resp, "Apache/2.2.23+u1") {
+		t.Errorf("post-update resp = %q", resp)
+	}
+	// Fresh plain requests are served by v2 pool threads.
+	s2, err := workload.OpenKeepalive(k, HttpdPort, false)
+	if err != nil {
+		t.Fatalf("new conn after update: %v", err)
+	}
+	defer s2.Close()
+}
+
+func TestHttpdWithoutAnnotationRollsBack(t *testing.T) {
+	// §7 violating assumption: without the 8-LOC annotation httpd detects
+	// its own running instance at replayed startup and aborts — MCR rolls
+	// the update back and v1 keeps serving.
+	old := SetHttpdPoolThreads(2)
+	defer SetHttpdPoolThreads(old)
+	prev := SetHttpdHonorMCRAnnotation(false)
+	defer SetHttpdHonorMCRAnnotation(prev)
+
+	e, k := launch(t, HttpdSpec(), core.Options{})
+	defer e.Shutdown()
+	_, err := e.Update(HttpdVersion(1))
+	if !errors.Is(err, core.ErrUpdateFailed) {
+		t.Fatalf("update err = %v, want ErrUpdateFailed", err)
+	}
+	// v1 still serves.
+	s, err := workload.OpenKeepalive(k, HttpdPort, false)
+	if err != nil {
+		t.Fatalf("v1 dead after rollback: %v", err)
+	}
+	defer s.Close()
+	if cur := e.Current().Version().Release; cur != "2.2.23" {
+		t.Errorf("current = %s", cur)
+	}
+}
+
+func TestAllServersFullUpdateStreams(t *testing.T) {
+	// Every server walks its whole update stream (the paper's 40 updates
+	// in total) under a live session.
+	if testing.Short() {
+		t.Skip("long")
+	}
+	old := SetHttpdPoolThreads(2)
+	defer SetHttpdPoolThreads(old)
+	for _, spec := range Catalog() {
+		spec := spec
+		if spec.Name == "nginx" {
+			continue // covered by TestNginxFullUpdateStream
+		}
+		t.Run(spec.Name, func(t *testing.T) {
+			e, k := launch(t, spec, core.Options{})
+			defer e.Shutdown()
+			sessions, err := workload.OpenSessions(k, spec.Name, spec.Port, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer workload.CloseSessions(sessions)
+			for i := 1; i < spec.NumVersions; i++ {
+				rep, err := e.Update(spec.Version(i))
+				if err != nil {
+					t.Fatalf("update %d: %v", i, err)
+				}
+				if rep.RolledBack {
+					t.Fatalf("update %d rolled back: %v", i, rep.Reason)
+				}
+			}
+			// Sessions still answer after the full stream.
+			switch spec.Name {
+			case "httpd":
+				if _, err := workload.KeepaliveRequest(sessions[0], "GET /end"); err != nil {
+					t.Errorf("session dead after stream: %v", err)
+				}
+			case "vsftpd":
+				if _, err := workload.FTPCommand(sessions[0], "STAT"); err != nil {
+					t.Errorf("session dead after stream: %v", err)
+				}
+			case "sshd":
+				if _, err := workload.SSHExec(sessions[0], "final"); err != nil {
+					t.Errorf("session dead after stream: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func TestCatalogAndSpecLookup(t *testing.T) {
+	if len(Catalog()) != 4 {
+		t.Fatalf("catalog size = %d", len(Catalog()))
+	}
+	for _, name := range []string{"httpd", "nginx", "vsftpd", "sshd"} {
+		spec, err := SpecByName(name)
+		if err != nil || spec.Name != name {
+			t.Errorf("SpecByName(%s) = %v, %v", name, spec, err)
+		}
+		// Every version in the stream validates.
+		for i := 0; i < spec.NumVersions; i += spec.NumVersions - 1 {
+			if err := spec.Version(i).Validate(); err != nil {
+				t.Errorf("%s version %d invalid: %v", name, i, err)
+			}
+		}
+	}
+	if _, err := SpecByName("iis"); err == nil {
+		t.Error("SpecByName(iis) succeeded")
+	}
+}

@@ -1,0 +1,512 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/program"
+	"repro/internal/types"
+)
+
+// figure2Version builds the Listing 1 / Figure 2 server: a linked list
+// (precisely traced, relocated and type-transformed across versions) and a
+// char buffer b holding a hidden pointer to a heap scratch buffer
+// (conservatively scanned; its target is pinned immutable). withNew adds
+// the `new` field to l_t, the Figure 2 update.
+func figure2Version(seq int, withNew bool) *program.Version {
+	reg := types.NewRegistry()
+	lt := &types.Type{Name: "l_t", Kind: types.KindStruct}
+	lt.Fields = []types.Field{
+		{Name: "value", Offset: 0, Type: types.Scalar(types.KindInt32)},
+		{Name: "next", Offset: 8, Type: types.PointerTo(lt)},
+	}
+	lt.Size, lt.Align = 16, 8
+	if withNew {
+		lt.Fields = append(lt.Fields, types.Field{
+			Name: "new", Offset: 16, Type: types.Scalar(types.KindInt32)})
+		lt.Size = 24
+	}
+	reg.Define(lt)
+	reg.Define(types.StructOf("conf_s",
+		types.Field{Name: "port", Type: types.Scalar(types.KindInt32)},
+		types.Field{Name: "timeout", Type: types.Scalar(types.KindInt32)},
+		types.Field{Name: "cache", Type: types.PointerTo(nil)},
+	))
+	reg.Define(&types.Type{Name: "confptr", Kind: types.KindPtr,
+		Size: types.WordSize, Align: types.WordSize})
+	buf8 := types.ArrayOf(8, types.Scalar(types.KindUint8))
+	buf8.Name = "buf8"
+	reg.Define(buf8)
+
+	return &program.Version{
+		Program: "figure2",
+		Release: map[bool]string{false: "v1", true: "v2"}[withNew],
+		Seq:     seq,
+		Types:   reg,
+		Globals: []program.GlobalSpec{
+			{Name: "b", Type: "buf8"},
+			{Name: "list", Type: "l_t"},
+			{Name: "conf", Type: "confptr"},
+		},
+		Annotations: program.NewAnnotations(),
+		Main:        figure2Main,
+	}
+}
+
+func figure2Main(t *program.Thread) error {
+	t.Enter("main")
+	defer t.Exit()
+	var lfd int
+	err := t.Call("server_init", func() error {
+		var err error
+		lfd, err = t.Socket()
+		if err != nil {
+			return err
+		}
+		if err := t.Bind(lfd, 80); err != nil {
+			return err
+		}
+		if err := t.Listen(lfd, 64); err != nil {
+			return err
+		}
+		conf, err := t.Malloc("conf_s")
+		if err != nil {
+			return err
+		}
+		p := t.Proc()
+		if err := p.WriteField(conf, "port", 80); err != nil {
+			return err
+		}
+		if err := p.WriteField(conf, "timeout", 30); err != nil {
+			return err
+		}
+		// A page-spanning startup-time config cache: reinitialized by
+		// every version's own startup, so the dirty filter should skip
+		// transferring it.
+		cache, err := t.MallocBytes(16384)
+		if err != nil {
+			return err
+		}
+		blob := make([]byte, 16384)
+		for i := range blob {
+			blob[i] = byte(i)
+		}
+		if err := p.WriteBytes(cache, 0, blob); err != nil {
+			return err
+		}
+		if err := p.SetPtr(conf, "cache", cache); err != nil {
+			return err
+		}
+		return p.SetPtr(p.MustGlobal("conf"), "", conf)
+	})
+	if err != nil {
+		return err
+	}
+	return t.Loop("main_loop", func() error {
+		cfd, _, err := t.AcceptQP("accept@server_get_event", lfd)
+		if err != nil {
+			if errors.Is(err, program.ErrStopped) {
+				return program.ErrLoopExit
+			}
+			return err
+		}
+		return t.Call("server_handle_event", func() error {
+			p := t.Proc()
+			node, err := t.Malloc("l_t")
+			if err != nil {
+				return err
+			}
+			head := p.MustGlobal("list")
+			if err := p.WriteField(node, "value", 5); err != nil {
+				return err
+			}
+			old, _ := p.ReadField(head, "next")
+			if err := p.WriteField(node, "next", old); err != nil {
+				return err
+			}
+			if err := p.WriteField(head, "next", uint64(node.Addr)); err != nil {
+				return err
+			}
+			// Hidden pointer: a scratch heap buffer referenced only from
+			// the char array b.
+			scratch, err := t.MallocBytes(32)
+			if err != nil {
+				return err
+			}
+			if err := p.WriteBytes(scratch, 0, []byte("scratchpad-data")); err != nil {
+				return err
+			}
+			if err := p.WriteWordAt(p.MustGlobal("b"), 0, uint64(scratch.Addr)); err != nil {
+				return err
+			}
+			if err := t.Write(cfd, []byte("ok")); err != nil && !errors.Is(err, kernel.ErrClosed) {
+				return err
+			}
+			return nil
+		})
+	})
+}
+
+// runV1 starts the v1 server, drives events through it, and quiesces it.
+func runV1(t *testing.T, events int) *program.Instance {
+	t.Helper()
+	k := kernel.New()
+	inst, err := program.NewInstance(figure2Version(0, false), k, program.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.WaitStartup(5 * time.Second); err != nil {
+		t.Fatalf("v1 startup: %v", err)
+	}
+	inst.CompleteStartup()
+	inst.Resume()
+	for i := 0; i < events; i++ {
+		cc, err := k.Connect(80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cc.Recv(2 * time.Second); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+	}
+	if _, err := inst.Quiesce(2 * time.Second); err != nil {
+		t.Fatalf("v1 quiesce: %v", err)
+	}
+	return inst
+}
+
+// startV2 builds the new version with the immutable-object reservations
+// derived from the old version's analysis, and runs its startup.
+func startV2(t *testing.T, v *program.Version, an *Analysis) *program.Instance {
+	t.Helper()
+	k2 := kernel.New()
+	opts := program.Options{PinnedStatics: ImmutableStatics(an)}
+	inst, err := program.NewInstance(v, k2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, reserve := ImmutableHeapPlan(an)
+	inst.Root().Heap().SetPlacementPlan(plan)
+	for _, o := range reserve {
+		if _, err := inst.Root().Heap().AllocAt(o.Addr, o.Size, nil, o.Site); err != nil {
+			t.Fatalf("pre-reserve %s: %v", o, err)
+		}
+	}
+	if err := inst.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.WaitStartup(5 * time.Second); err != nil {
+		t.Fatalf("v2 startup: %v", err)
+	}
+	inst.CompleteStartup()
+	return inst
+}
+
+func defaultOpts() Options {
+	return Options{Policy: types.DefaultPolicy()}
+}
+
+func TestAnalysisFindsLikelyPointers(t *testing.T) {
+	v1 := runV1(t, 3)
+	defer v1.Terminate()
+	an, err := AnalyzeProc(v1.Root(), types.DefaultPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b holds one likely pointer into the heap (the latest scratch).
+	if an.Stats.Likely.Ptr == 0 {
+		t.Fatal("no likely pointers found")
+	}
+	if an.Stats.Likely.SrcStatic == 0 || an.Stats.Likely.TargDynamic == 0 {
+		t.Errorf("likely breakdown = %+v, want static source, dynamic target", an.Stats.Likely)
+	}
+	// The list head and conf yield precise pointers.
+	if an.Stats.Precise.Ptr < 2 {
+		t.Errorf("precise pointers = %d, want >= 2", an.Stats.Precise.Ptr)
+	}
+	// The pinned scratch buffer is immutable and nonupdatable; b itself is
+	// nonupdatable (contains a likely pointer).
+	if len(an.Immutable) == 0 {
+		t.Fatal("no immutable objects")
+	}
+	for addr, o := range an.Immutable {
+		if o.Kind != mem.ObjHeap {
+			t.Errorf("immutable %s not a heap object", o)
+		}
+		if !an.Nonupdatable[addr] {
+			t.Error("immutable object not nonupdatable")
+		}
+	}
+	b, _ := v1.Root().Global("b")
+	if !an.Nonupdatable[b.Addr] {
+		t.Error("b (contains likely pointer) not nonupdatable")
+	}
+	// Untouched statics are freely updatable.
+	list, _ := v1.Root().Global("list")
+	if an.IsImmutable(list.Addr) {
+		t.Error("list head wrongly immutable")
+	}
+}
+
+func TestFullPolicyAblation(t *testing.T) {
+	v1 := runV1(t, 3)
+	defer v1.Terminate()
+	// Under the fully precise policy, char arrays are not scanned: the
+	// hidden pointer in b goes unseen (the annotation burden prior
+	// solutions impose) and nothing is pinned.
+	an, err := AnalyzeProc(v1.Root(), types.FullyPrecisePolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uninstrumented scratch buffers are still opaque blobs, but b's
+	// content is not examined, so the live scratch target is missed.
+	b, _ := v1.Root().Global("b")
+	if an.Nonupdatable[b.Addr] {
+		t.Error("precise policy still marked b nonupdatable")
+	}
+}
+
+func TestFigure2Transfer(t *testing.T) {
+	v1 := runV1(t, 3)
+	defer v1.Terminate()
+	an, err := AnalyzeProc(v1.Root(), types.DefaultPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := startV2(t, figure2Version(1, true), an)
+	defer v2.Terminate()
+
+	stats, err := TransferProc(v1.Root(), v2.Root(), an, defaultOpts())
+	if err != nil {
+		t.Fatalf("TransferProc: %v", err)
+	}
+	if stats.ObjectsTransferred == 0 || stats.TypeTransformed == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	oldP, newP := v1.Root(), v2.Root()
+	// (1) The list chain survives with values intact, `new` zeroed, and
+	// relocated nodes (v2 is a different heap state and the type grew).
+	oldHead := oldP.MustGlobal("list")
+	newHead := newP.MustGlobal("list")
+	oldNode, _ := oldP.ReadPtr(oldHead, "next")
+	count := 0
+	node, ok := newP.ReadPtr(newHead, "next")
+	for ok {
+		count++
+		if v, _ := newP.ReadField(node, "value"); v != 5 {
+			t.Errorf("node %d value = %d, want 5", count, v)
+		}
+		if v, _ := newP.ReadField(node, "new"); v != 0 {
+			t.Errorf("node %d new = %d, want 0", count, v)
+		}
+		node, ok = newP.ReadPtr(node, "next")
+	}
+	if count != 3 {
+		t.Fatalf("transferred list has %d nodes, want 3", count)
+	}
+	firstNew, _ := newP.ReadPtr(newHead, "next")
+	if oldNode != nil && firstNew != nil && firstNew.Addr == oldNode.Addr {
+		t.Error("transformed node not relocated (type grew but address kept)")
+	}
+
+	// (2) b's hidden pointer is preserved verbatim and its target exists
+	// at the same address in v2 with identical content.
+	oldBVal, _ := oldP.ReadWordAt(oldP.MustGlobal("b"), 0)
+	newBVal, _ := newP.ReadWordAt(newP.MustGlobal("b"), 0)
+	if oldBVal != newBVal {
+		t.Fatalf("b content changed: %#x -> %#x", oldBVal, newBVal)
+	}
+	pinned, ok := newP.Index().At(mem.Addr(newBVal))
+	if !ok {
+		t.Fatal("immutable scratch buffer missing in v2")
+	}
+	data, _ := newP.ReadBytes(pinned, 0, 15)
+	if string(data) != "scratchpad-data" {
+		t.Errorf("pinned buffer content = %q", data)
+	}
+
+	// (3) conf was startup-initialized and clean: v2 keeps its own
+	// reinitialized copy (skipped by the dirty filter).
+	if stats.ObjectsSkippedClean == 0 {
+		t.Error("no clean startup objects skipped")
+	}
+	conf, ok := newP.ReadPtr(newP.MustGlobal("conf"), "")
+	if !ok {
+		t.Fatal("v2 conf pointer lost")
+	}
+	if v, _ := newP.ReadField(conf, "port"); v != 80 {
+		t.Errorf("v2 conf.port = %d", v)
+	}
+}
+
+func TestTransferIdenticalVersionPreservesEverything(t *testing.T) {
+	v1 := runV1(t, 2)
+	defer v1.Terminate()
+	an, err := AnalyzeProc(v1.Root(), types.DefaultPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := startV2(t, figure2Version(1, false), an)
+	defer v2.Terminate()
+	if _, err := TransferProc(v1.Root(), v2.Root(), an, defaultOpts()); err != nil {
+		t.Fatalf("TransferProc: %v", err)
+	}
+	newP := v2.Root()
+	count := 0
+	node, ok := newP.ReadPtr(newP.MustGlobal("list"), "next")
+	for ok {
+		count++
+		node, ok = newP.ReadPtr(node, "next")
+	}
+	if count != 2 {
+		t.Errorf("list nodes = %d, want 2", count)
+	}
+}
+
+func TestNonupdatableTypeChangeConflicts(t *testing.T) {
+	// The update changes the layout of an object reached conservatively:
+	// mutable tracing must flag a conflict, not corrupt state.
+	v1 := runV1(t, 1)
+	defer v1.Terminate()
+	an, err := AnalyzeProc(v1.Root(), types.DefaultPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the scratch buffer (immutable, untyped) to "change type" by
+	// faking an analysis in which b itself changed: simplest real case —
+	// mark the list head nonupdatable and grow l_t.
+	list, _ := v1.Root().Global("list")
+	an.Nonupdatable[list.Addr] = true
+
+	v2 := startV2(t, figure2Version(1, true), an)
+	defer v2.Terminate()
+	_, err = TransferProc(v1.Root(), v2.Root(), an, defaultOpts())
+	if !errors.Is(err, ErrTransferConflict) {
+		t.Fatalf("err = %v, want ErrTransferConflict", err)
+	}
+}
+
+func TestObjHandlerOverride(t *testing.T) {
+	// An object handler takes over transfer of b: it decodes the stored
+	// pointer, remaps it through the pair table (which for an immutable
+	// target is the identity), and re-encodes it with a marker bit — the
+	// nginx pointer-encoding annotation pattern.
+	v1 := runV1(t, 2)
+	defer v1.Terminate()
+	an, err := AnalyzeProc(v1.Root(), types.DefaultPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2ver := figure2Version(1, true)
+	var handlerRan bool
+	v2ver.Annotations.AddObjHandler("b", 22, func(tc program.TransferContext, oldObj, newObj *mem.Object) error {
+		handlerRan = true
+		v, err := tc.OldProc().ReadWordAt(oldObj, 0)
+		if err != nil {
+			return err
+		}
+		nv, ok := tc.RemapPtr(v)
+		if !ok {
+			nv = v
+		}
+		return tc.NewProc().WriteWordAt(newObj, 0, nv|1) // set marker bit
+	})
+	v2 := startV2(t, v2ver, an)
+	defer v2.Terminate()
+	stats, err := TransferProc(v1.Root(), v2.Root(), an, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !handlerRan || stats.HandlerInvocations != 1 {
+		t.Fatalf("handler not invoked (stats %+v)", stats)
+	}
+	oldV, _ := v1.Root().ReadWordAt(v1.Root().MustGlobal("b"), 0)
+	newV, _ := v2.Root().ReadWordAt(v2.Root().MustGlobal("b"), 0)
+	if newV != oldV|1 {
+		t.Errorf("handler output = %#x, want %#x", newV, oldV|1)
+	}
+}
+
+func TestDirtyFilterAblation(t *testing.T) {
+	v1 := runV1(t, 3)
+	defer v1.Terminate()
+	an, err := AnalyzeProc(v1.Root(), types.DefaultPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2a := startV2(t, figure2Version(1, false), an)
+	defer v2a.Terminate()
+	withFilter, err := TransferProc(v1.Root(), v2a.Root(), an, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2b := startV2(t, figure2Version(1, false), an)
+	defer v2b.Terminate()
+	noFilterOpts := defaultOpts()
+	noFilterOpts.DisableDirtyFilter = true
+	withoutFilter, err := TransferProc(v1.Root(), v2b.Root(), an, noFilterOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withFilter.BytesTransferred >= withoutFilter.BytesTransferred {
+		t.Errorf("dirty filter did not reduce transfer: %d vs %d",
+			withFilter.BytesTransferred, withoutFilter.BytesTransferred)
+	}
+	if withFilter.DirtyReduction() <= 0 {
+		t.Errorf("DirtyReduction = %v", withFilter.DirtyReduction())
+	}
+}
+
+func TestTransferInstanceParallelAndMissingProc(t *testing.T) {
+	v1 := runV1(t, 1)
+	defer v1.Terminate()
+	analyses, err := AnalyzeInstance(v1, types.DefaultPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := startV2(t, figure2Version(1, true), analyses[program.RootKey])
+	defer v2.Terminate()
+	stats, err := TransferInstance(v1, v2, analyses, defaultOpts())
+	if err != nil {
+		t.Fatalf("TransferInstance: %v", err)
+	}
+	if stats.ObjectsTransferred == 0 {
+		t.Error("nothing transferred")
+	}
+	agg := AggregateStats(analyses)
+	if agg.Likely.Ptr == 0 {
+		t.Error("aggregate stats empty")
+	}
+}
+
+func TestImmutableHeapPlanSplit(t *testing.T) {
+	an := &Analysis{
+		Immutable: map[mem.Addr]*mem.Object{
+			0x1000: {Addr: 0x1000, Size: 32, Kind: mem.ObjHeap, Startup: true, Site: 7, Seq: 1},
+			0x2000: {Addr: 0x2000, Size: 32, Kind: mem.ObjHeap, Startup: false, Site: 9, Seq: 2},
+			0x3000: {Addr: 0x3000, Size: 32, Kind: mem.ObjStatic, Name: "g"},
+		},
+		Nonupdatable: map[mem.Addr]bool{},
+	}
+	plan, reserve := ImmutableHeapPlan(an)
+	if len(plan) != 1 {
+		t.Errorf("plan = %v, want 1 entry", plan)
+	}
+	if got := plan[mem.PlanKey{Site: 7, Seq: 1}]; got != 0x1000 {
+		t.Errorf("plan addr = %#x", got)
+	}
+	if len(reserve) != 1 || reserve[0].Addr != 0x2000 {
+		t.Errorf("reserve = %v", reserve)
+	}
+	statics := ImmutableStatics(an)
+	if statics["g"] != 0x3000 {
+		t.Errorf("statics = %v", statics)
+	}
+}

@@ -1,0 +1,558 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/program"
+	"repro/internal/types"
+)
+
+// ErrTransferConflict marks a state-transfer conflict: the update changed
+// something mutable tracing cannot remap automatically (a nonupdatable
+// object's type, a semantic type change without a handler, a missing
+// process counterpart). Conflicts abort the update and trigger rollback.
+var ErrTransferConflict = errors.New("trace: state transfer conflict")
+
+func conflictf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrTransferConflict, fmt.Sprintf(format, args...))
+}
+
+// Stats summarizes one state transfer (per process, or aggregated).
+type Stats struct {
+	ObjectsDiscovered   int
+	ObjectsTransferred  int
+	BytesTransferred    uint64
+	BytesTotalState     uint64 // all discovered state (dirty-reduction input)
+	ObjectsReallocated  int    // objects newly allocated in the new version
+	ObjectsSkippedClean int    // clean startup objects left to reinitialization
+	TypeTransformed     int    // objects whose layout changed across versions
+	HandlerInvocations  int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.ObjectsDiscovered += other.ObjectsDiscovered
+	s.ObjectsTransferred += other.ObjectsTransferred
+	s.BytesTransferred += other.BytesTransferred
+	s.BytesTotalState += other.BytesTotalState
+	s.ObjectsReallocated += other.ObjectsReallocated
+	s.ObjectsSkippedClean += other.ObjectsSkippedClean
+	s.TypeTransformed += other.TypeTransformed
+	s.HandlerInvocations += other.HandlerInvocations
+}
+
+// DirtyReduction returns the fraction of state bytes the soft-dirty filter
+// avoided transferring (the 68%-86% reduction of §8).
+func (s *Stats) DirtyReduction() float64 {
+	if s.BytesTotalState == 0 {
+		return 0
+	}
+	return 1 - float64(s.BytesTransferred)/float64(s.BytesTotalState)
+}
+
+// Options configures a transfer.
+type Options struct {
+	Policy types.Policy
+	// TransferLibs names libraries whose opaque state is transferred.
+	TransferLibs map[string]bool
+	// DisableDirtyFilter transfers every discovered object, ignoring
+	// soft-dirty tracking (the D1 ablation).
+	DisableDirtyFilter bool
+}
+
+type pairEntry struct {
+	oldObj *mem.Object
+	newObj *mem.Object
+	// transform is non-nil when old and new layouts differ.
+	transform *types.Transformation
+}
+
+// procTransfer transfers one old process's state into its new counterpart.
+type procTransfer struct {
+	oldProc *program.Proc
+	newProc *program.Proc
+	an      *Analysis
+	opts    Options
+	ann     *program.Annotations
+
+	pairs     map[mem.Addr]*pairEntry     // keyed by old object start address
+	dirty     map[mem.Addr]bool           // old objects overlapping soft-dirty pages
+	bySiteSeq map[mem.PlanKey]*mem.Object // new-version heap objects
+
+	stats Stats
+}
+
+// TransferProc transfers the state of oldProc into newProc. The analysis
+// must come from AnalyzeProc on oldProc with the same policy.
+func TransferProc(oldProc, newProc *program.Proc, an *Analysis, opts Options) (Stats, error) {
+	pt := &procTransfer{
+		oldProc:   oldProc,
+		newProc:   newProc,
+		an:        an,
+		opts:      opts,
+		ann:       newProc.Instance().Version().Annotations,
+		pairs:     make(map[mem.Addr]*pairEntry),
+		dirty:     make(map[mem.Addr]bool),
+		bySiteSeq: make(map[mem.PlanKey]*mem.Object),
+	}
+	for _, o := range newProc.Index().All() {
+		if o.Kind == mem.ObjHeap && o.Site != 0 {
+			pt.bySiteSeq[mem.PlanKey{Site: o.Site, Seq: o.Seq}] = o
+		}
+	}
+	for _, o := range oldProc.Index().OnPages(oldProc.Space().SoftDirtyPages()) {
+		pt.dirty[o.Addr] = true
+	}
+	reachable, err := pt.discover()
+	if err != nil {
+		return pt.stats, err
+	}
+	if err := pt.pair(reachable); err != nil {
+		return pt.stats, err
+	}
+	if err := pt.copyContents(reachable); err != nil {
+		return pt.stats, err
+	}
+	return pt.stats, nil
+}
+
+// discover walks the old object graph from the roots (static, stack and
+// opted-in lib objects), following precise pointer slots and likely
+// pointers, and returns the reachable objects in deterministic order.
+func (pt *procTransfer) discover() ([]*mem.Object, error) {
+	ix := pt.oldProc.Index()
+	as := pt.oldProc.Space()
+	var queue []*mem.Object
+	seen := make(map[mem.Addr]bool)
+	push := func(o *mem.Object) {
+		if !seen[o.Addr] {
+			seen[o.Addr] = true
+			queue = append(queue, o)
+		}
+	}
+	for _, o := range ix.All() {
+		switch o.Kind {
+		case mem.ObjStatic, mem.ObjStack:
+			push(o)
+		case mem.ObjLib:
+			if pt.opts.TransferLibs[o.Name] {
+				push(o)
+			}
+		}
+	}
+	var out []*mem.Object
+	for len(queue) > 0 {
+		o := queue[0]
+		queue = queue[1:]
+		out = append(out, o)
+		pt.stats.ObjectsDiscovered++
+		pt.stats.BytesTotalState += o.Size
+
+		opaques, ptrs := opaqueRangesOf(o, pt.opts.Policy)
+		for _, slot := range ptrs {
+			if slot.Func || slot.Offset+8 > o.Size {
+				continue
+			}
+			word, err := as.ReadWord(o.Addr + mem.Addr(slot.Offset))
+			if err != nil {
+				return nil, err
+			}
+			if word == 0 {
+				continue
+			}
+			if target, ok := ix.Containing(mem.Addr(word)); ok {
+				if target.Kind != mem.ObjLib || pt.opts.TransferLibs[target.Name] {
+					push(target)
+				}
+			}
+		}
+		for _, r := range opaques {
+			end := r.Offset + r.Size
+			if end > o.Size {
+				end = o.Size
+			}
+			for off := (r.Offset + 7) &^ 7; off+8 <= end; off += 8 {
+				word, err := as.ReadWord(o.Addr + mem.Addr(off))
+				if err != nil {
+					return nil, err
+				}
+				if target, ok := likelyPointer(ix, word); ok {
+					if target.Kind != mem.ObjLib || pt.opts.TransferLibs[target.Name] {
+						push(target)
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// newTypeFor maps an old object's type into the new version's registry:
+// named types resolve by name (picking up update-induced layout changes);
+// anonymous types carry over structurally.
+func (pt *procTransfer) newTypeFor(old *types.Type) *types.Type {
+	if old == nil {
+		return nil
+	}
+	if old.Name != "" {
+		if nt, ok := pt.newProc.Instance().Version().Types.Lookup(old.Name); ok {
+			return nt
+		}
+		// Type deleted by the update: fall back to the old layout; the
+		// object keeps its shape (and a conflict surfaces only if code
+		// actually changed it).
+	}
+	return old
+}
+
+// pair finds or creates the new-version counterpart of every reachable old
+// object, matching by the strategies of §6: symbol names for statics and
+// stack variables, (site, seq) for startup-reallocated heap objects,
+// allocation-site reallocation for the rest, same-address reservations for
+// immutable objects.
+func (pt *procTransfer) pair(reachable []*mem.Object) error {
+	for _, o := range reachable {
+		e := &pairEntry{oldObj: o}
+		pt.pairs[o.Addr] = e
+		switch o.Kind {
+		case mem.ObjStatic, mem.ObjLib:
+			if n, ok := pt.newProc.Global(o.Name); ok {
+				e.newObj = n
+			} else if n, ok := pt.newProc.Index().At(o.Addr); ok && n.Name == o.Name {
+				// Lib objects: pre-linked at identical addresses.
+				e.newObj = n
+			}
+			// A deleted global has no counterpart: dropped, unless some
+			// transferred pointer still needs it (checked during remap).
+		case mem.ObjStack:
+			e.newObj = pt.findStackVar(o.Name)
+		case mem.ObjHeap:
+			imm := pt.an.IsImmutable(o.Addr)
+			if o.Startup {
+				if n, ok := pt.bySiteSeq[mem.PlanKey{Site: o.Site, Seq: o.Seq}]; ok {
+					e.newObj = n
+					if imm && n.Addr != o.Addr {
+						return conflictf("immutable startup object %s reallocated at %#x", o, n.Addr)
+					}
+					break
+				}
+				// The new startup did not recreate it (changed startup
+				// code): reallocate at transfer time like a dirty object.
+			}
+			var n *mem.Object
+			var err error
+			nt := pt.newTypeFor(o.Type)
+			if imm {
+				// Immutable: same address. The engine pre-reserved the
+				// range before startup (possibly as part of a coalesced
+				// superobject); if it did not (first contact), reserve it
+				// now.
+				if existing, ok := pt.newProc.Index().At(o.Addr); ok {
+					n = existing
+				} else if super, ok := pt.newProc.Index().Containing(o.Addr); ok &&
+					super.Type == nil && super.End() >= o.End() {
+					// A synthetic view into the reserved superobject:
+					// correct address and size for copying and remapping,
+					// not separately indexed.
+					n = &mem.Object{Addr: o.Addr, Size: o.Size, Type: nt,
+						Site: o.Site, Seq: o.Seq, Kind: mem.ObjHeap}
+				} else {
+					n, err = pt.newProc.Heap().AllocAt(o.Addr, o.Size, nt, o.Site)
+					if err != nil {
+						return conflictf("immutable object %s cannot be re-reserved: %v", o, err)
+					}
+				}
+			} else {
+				size := o.Size
+				if nt != nil {
+					// The new version's layout decides the size: a grown
+					// type needs room for its added fields (Figure 2).
+					size = nt.Size
+				}
+				n, err = pt.newProc.Heap().Alloc(size, nt, o.Site)
+				if err != nil {
+					return fmt.Errorf("trace: reallocate %s: %w", o, err)
+				}
+			}
+			pt.stats.ObjectsReallocated++
+			e.newObj = n
+		}
+		if e.newObj == nil {
+			continue
+		}
+		// Derive the transformation if layouts differ. A user object
+		// handler (MCR_ADD_OBJ_HANDLER) overrides the nonupdatability
+		// invariant: the annotation asserts knowledge of the hidden
+		// pointers the conservative analysis flagged (§3, Listing 1).
+		oldT, newT := o.Type, e.newObj.Type
+		if !types.LayoutEqual(oldT, newT) {
+			_, hasHandler := pt.ann.ObjHandler(o.Name)
+			if pt.an.Nonupdatable[o.Addr] && !hasHandler {
+				return conflictf("nonupdatable object %s changed type %s -> %s", o, oldT, newT)
+			}
+			if oldT == nil || newT == nil {
+				return conflictf("object %s lost/gained type information (%s -> %s)", o, oldT, newT)
+			}
+			tr, err := types.Diff(oldT, newT)
+			if err != nil && !hasHandler {
+				return conflictf("object %s: %v", o, err)
+			}
+			e.transform = tr
+			pt.stats.TypeTransformed++
+		}
+	}
+	return nil
+}
+
+func (pt *procTransfer) findStackVar(name string) *mem.Object {
+	for _, o := range pt.newProc.Index().All() {
+		if o.Kind == mem.ObjStack && o.Name == name {
+			return o
+		}
+	}
+	return nil
+}
+
+// RemapPtr translates an old pointer value to the new version.
+func (pt *procTransfer) RemapPtr(old uint64) (uint64, bool) {
+	target, ok := pt.oldProc.Index().Containing(mem.Addr(old))
+	if !ok {
+		return 0, false
+	}
+	e := pt.pairs[target.Addr]
+	if e == nil || e.newObj == nil {
+		return 0, false
+	}
+	off := uint64(mem.Addr(old) - target.Addr)
+	if off == 0 {
+		return uint64(e.newObj.Addr), true
+	}
+	if e.transform == nil {
+		return uint64(e.newObj.Addr) + off, true
+	}
+	// Interior pointer into a transformed object: remap through the field
+	// copy covering the offset.
+	for _, c := range e.transform.Copies {
+		if off >= c.SrcOffset && off < c.SrcOffset+c.SrcSize {
+			return uint64(e.newObj.Addr) + c.DstOffset + (off - c.SrcOffset), true
+		}
+	}
+	return 0, false
+}
+
+// OldProc implements program.TransferContext.
+func (pt *procTransfer) OldProc() *program.Proc { return pt.oldProc }
+
+// NewProc implements program.TransferContext.
+func (pt *procTransfer) NewProc() *program.Proc { return pt.newProc }
+
+// DefaultTransfer implements program.TransferContext for handlers that
+// post-process the automatic transformation.
+func (pt *procTransfer) DefaultTransfer(oldObj, newObj *mem.Object) error {
+	e := pt.pairs[oldObj.Addr]
+	if e == nil {
+		e = &pairEntry{oldObj: oldObj, newObj: newObj}
+	}
+	return pt.transferObject(e)
+}
+
+var _ program.TransferContext = (*procTransfer)(nil)
+
+// copyContents performs the actual state copy: dirty objects (and all
+// post-startup reallocations) are transformed and remapped into the new
+// version; clean startup objects are left to mutable reinitialization.
+func (pt *procTransfer) copyContents(reachable []*mem.Object) error {
+	for _, o := range reachable {
+		e := pt.pairs[o.Addr]
+		if e == nil || e.newObj == nil {
+			continue
+		}
+		needsCopy := pt.dirty[o.Addr] || !o.Startup || pt.opts.DisableDirtyFilter
+		if o.Kind == mem.ObjHeap && o.Startup && pt.bySiteSeq[mem.PlanKey{Site: o.Site, Seq: o.Seq}] == nil {
+			// Startup object the new version did not recreate: must copy.
+			needsCopy = true
+		}
+		if !needsCopy {
+			pt.stats.ObjectsSkippedClean++
+			continue
+		}
+		if h, ok := pt.ann.ObjHandler(o.Name); ok {
+			pt.stats.HandlerInvocations++
+			if err := h(pt, o, e.newObj); err != nil {
+				return conflictf("handler for %s: %v", o, err)
+			}
+			pt.stats.ObjectsTransferred++
+			pt.stats.BytesTransferred += o.Size
+			continue
+		}
+		if err := pt.transferObject(e); err != nil {
+			return err
+		}
+		pt.stats.ObjectsTransferred++
+		pt.stats.BytesTransferred += o.Size
+	}
+	return nil
+}
+
+// transferObject applies the automatic transformation for one object pair:
+// verbatim copy (plus precise pointer remap) for layout-identical pairs,
+// field-mapped transformation otherwise.
+func (pt *procTransfer) transferObject(e *pairEntry) error {
+	oldAS, newAS := pt.oldProc.Space(), pt.newProc.Space()
+	o, n := e.oldObj, e.newObj
+	if e.transform == nil || e.transform.Identical {
+		size := o.Size
+		if n.Size < size {
+			size = n.Size
+		}
+		buf := make([]byte, size)
+		if err := oldAS.ReadAt(o.Addr, buf); err != nil {
+			return err
+		}
+		if err := newAS.WriteAt(n.Addr, buf); err != nil {
+			return err
+		}
+		return pt.remapSlots(n, n.Type, 0, 0, o)
+	}
+	// Layout changed: apply the field map.
+	tr := e.transform
+	for _, c := range tr.Copies {
+		if err := pt.copyField(o, n, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// copyField applies one FieldCopy, handling integer resizing, pointer
+// remapping and nested aggregates.
+func (pt *procTransfer) copyField(o, n *mem.Object, c types.FieldCopy) error {
+	oldAS, newAS := pt.oldProc.Space(), pt.newProc.Space()
+	srcAddr := o.Addr + mem.Addr(c.SrcOffset)
+	dstAddr := n.Addr + mem.Addr(c.DstOffset)
+	switch {
+	case c.SrcSize == c.DstSize:
+		buf := make([]byte, c.SrcSize)
+		if err := oldAS.ReadAt(srcAddr, buf); err != nil {
+			return err
+		}
+		if err := newAS.WriteAt(dstAddr, buf); err != nil {
+			return err
+		}
+		if c.Ptr {
+			return pt.remapWord(dstAddr)
+		}
+		if c.Elem != nil {
+			return pt.remapSlots(n, c.Elem, c.DstOffset, c.SrcOffset-c.DstOffset, o)
+		}
+		return nil
+	default:
+		// Integer resize with optional sign extension.
+		buf := make([]byte, c.SrcSize)
+		if err := oldAS.ReadAt(srcAddr, buf); err != nil {
+			return err
+		}
+		var v uint64
+		for i := len(buf) - 1; i >= 0; i-- {
+			v = v<<8 | uint64(buf[i])
+		}
+		if c.Signed && len(buf) > 0 && buf[len(buf)-1]&0x80 != 0 {
+			for i := c.SrcSize; i < 8; i++ {
+				v |= 0xff << (8 * i)
+			}
+		}
+		out := make([]byte, c.DstSize)
+		for i := range out {
+			out[i] = byte(v >> (8 * uint(i)))
+		}
+		return newAS.WriteAt(dstAddr, out)
+	}
+}
+
+// remapSlots rewrites every precise pointer slot of type t (placed at
+// dstBase inside the new object) by translating the old-version values.
+// srcBias converts a new-object offset back to the old-object offset the
+// value was copied from.
+func (pt *procTransfer) remapSlots(n *mem.Object, t *types.Type, dstBase, srcBias uint64, _ *mem.Object) error {
+	if t == nil {
+		return nil
+	}
+	l := types.LayoutOf(t, pt.opts.Policy)
+	for _, slot := range l.Ptrs {
+		if slot.Func {
+			continue
+		}
+		addr := n.Addr + mem.Addr(dstBase+slot.Offset)
+		if uint64(addr)+8 > uint64(n.End()) {
+			continue
+		}
+		if err := pt.remapWord(addr); err != nil {
+			return err
+		}
+	}
+	_ = srcBias
+	return nil
+}
+
+// remapWord rewrites one pointer cell in the new address space, leaving
+// values that do not resolve to transferred objects untouched.
+func (pt *procTransfer) remapWord(addr mem.Addr) error {
+	newAS := pt.newProc.Space()
+	v, err := newAS.ReadWord(addr)
+	if err != nil {
+		return err
+	}
+	if v == 0 {
+		return nil
+	}
+	nv, ok := pt.RemapPtr(v)
+	if !ok {
+		return nil
+	}
+	if nv == v {
+		return nil
+	}
+	return newAS.WriteWord(addr, nv)
+}
+
+// TransferInstance transfers every old process into its new counterpart,
+// matched by creation key, running the per-process transfers in parallel
+// (§6: "fully parallelizing the state transfer operations in a
+// multiprocess context"). It returns aggregated statistics.
+func TransferInstance(oldInst, newInst *program.Instance, analyses map[program.ProcKey]*Analysis, opts Options) (Stats, error) {
+	oldProcs := oldInst.Procs()
+	type result struct {
+		stats Stats
+		err   error
+	}
+	results := make([]result, len(oldProcs))
+	var wg sync.WaitGroup
+	for i, op := range oldProcs {
+		np, ok := newInst.ProcByKey(op.Key())
+		if !ok {
+			return Stats{}, conflictf("no new-version process for %s", op.Key())
+		}
+		an := analyses[op.Key()]
+		if an == nil {
+			return Stats{}, fmt.Errorf("trace: missing analysis for %s", op.Key())
+		}
+		wg.Add(1)
+		go func(i int, op, np *program.Proc, an *Analysis) {
+			defer wg.Done()
+			s, err := TransferProc(op, np, an, opts)
+			results[i] = result{stats: s, err: err}
+		}(i, op, np, an)
+	}
+	wg.Wait()
+	var total Stats
+	for _, r := range results {
+		if r.err != nil {
+			return total, r.err
+		}
+		total.Add(r.stats)
+	}
+	return total, nil
+}

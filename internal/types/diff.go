@@ -1,0 +1,264 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSemanticChange is returned when two versions of a type cannot be
+// mapped automatically and require a user-specified state transformer, the
+// cases the paper covers with MCR_ADD_OBJ_HANDLER-style annotations.
+var ErrSemanticChange = errors.New("types: semantic change requires a user transformer")
+
+// FieldCopy is one step of an automatic struct transformation: copy (and,
+// if the scalar widths differ, convert) SrcSize bytes at SrcOffset in the
+// old object into DstSize bytes at DstOffset in the new object.
+type FieldCopy struct {
+	Name      string
+	SrcOffset uint64
+	SrcSize   uint64
+	DstOffset uint64
+	DstSize   uint64
+	// Ptr marks pointer-valued copies, which state transfer must remap
+	// through the object pair table rather than copy verbatim.
+	Ptr bool
+	// Signed drives sign extension when widening integer fields.
+	Signed bool
+	// Elem, for nested aggregate copies, is the (identical) nested type.
+	Elem *Type
+}
+
+// Transformation is an automatically derived mapping from an old type
+// version to a new one.
+type Transformation struct {
+	Old, New *Type
+	// Identical means the memory layouts match exactly and the object can
+	// be copied wholesale (pointer slots still need remapping).
+	Identical bool
+	Copies    []FieldCopy
+	// AddedFields lists fields present only in the new version; they are
+	// zero-initialized (the `new` field of Figure 2).
+	AddedFields []string
+	// DroppedFields lists fields present only in the old version.
+	DroppedFields []string
+}
+
+// Diff derives the automatic transformation from old to new. It returns
+// ErrSemanticChange (wrapped with context) when no automatic mapping
+// exists: kind changes, incompatible field retyping, or array element
+// changes. Callers surface that as a state-transfer conflict requiring a
+// user handler.
+func Diff(old, new *Type) (*Transformation, error) {
+	if old == nil || new == nil {
+		return nil, fmt.Errorf("types: Diff on nil type: %w", ErrSemanticChange)
+	}
+	tr := &Transformation{Old: old, New: new}
+	if LayoutEqual(old, new) {
+		tr.Identical = true
+		return tr, nil
+	}
+	if old.Kind != new.Kind {
+		// Scalar widening/narrowing between integer kinds is automatic.
+		if old.IsInteger() && new.IsInteger() {
+			tr.Copies = []FieldCopy{{
+				Name: old.Name, SrcSize: old.Size, DstSize: new.Size,
+				Signed: isSigned(old.Kind),
+			}}
+			return tr, nil
+		}
+		return nil, fmt.Errorf("types: kind changed %v -> %v for %q: %w",
+			old.Kind, new.Kind, old.Name, ErrSemanticChange)
+	}
+	switch old.Kind {
+	case KindStruct:
+		return diffStruct(old, new, tr)
+	case KindArray:
+		return diffArray(old, new, tr)
+	case KindUnion:
+		// A changed union is never automatically transformable: the live
+		// member is unknown. (Under the default policy unions are opaque and
+		// the enclosing object is nonupdatable anyway.)
+		return nil, fmt.Errorf("types: union %q changed: %w", old.Name, ErrSemanticChange)
+	default:
+		if old.IsInteger() && new.IsInteger() {
+			tr.Copies = []FieldCopy{{
+				Name: old.Name, SrcSize: old.Size, DstSize: new.Size,
+				Signed: isSigned(old.Kind),
+			}}
+			return tr, nil
+		}
+		return nil, fmt.Errorf("types: scalar %q changed %v -> %v: %w",
+			old.Name, old.Kind, new.Kind, ErrSemanticChange)
+	}
+}
+
+func diffStruct(old, new *Type, tr *Transformation) (*Transformation, error) {
+	oldByName := make(map[string]Field, len(old.Fields))
+	for _, f := range old.Fields {
+		oldByName[f.Name] = f
+	}
+	seen := make(map[string]bool, len(new.Fields))
+	for _, nf := range new.Fields {
+		of, ok := oldByName[nf.Name]
+		if !ok {
+			tr.AddedFields = append(tr.AddedFields, nf.Name)
+			continue
+		}
+		seen[nf.Name] = true
+		switch {
+		case LayoutEqual(of.Type, nf.Type):
+			tr.Copies = append(tr.Copies, FieldCopy{
+				Name:      nf.Name,
+				SrcOffset: of.Offset, SrcSize: of.Type.Size,
+				DstOffset: nf.Offset, DstSize: nf.Type.Size,
+				Ptr:  nf.Type.Kind == KindPtr || nf.Type.Kind == KindFuncPtr,
+				Elem: nf.Type,
+			})
+		case of.Type.IsInteger() && nf.Type.IsInteger():
+			tr.Copies = append(tr.Copies, FieldCopy{
+				Name:      nf.Name,
+				SrcOffset: of.Offset, SrcSize: of.Type.Size,
+				DstOffset: nf.Offset, DstSize: nf.Type.Size,
+				Signed: isSigned(of.Type.Kind),
+			})
+		default:
+			return nil, fmt.Errorf("types: field %s.%s retyped %s -> %s: %w",
+				old.Name, nf.Name, of.Type, nf.Type, ErrSemanticChange)
+		}
+	}
+	for _, of := range old.Fields {
+		if !seen[of.Name] {
+			tr.DroppedFields = append(tr.DroppedFields, of.Name)
+		}
+	}
+	return tr, nil
+}
+
+func diffArray(old, new *Type, tr *Transformation) (*Transformation, error) {
+	n := old.Len
+	if new.Len < n {
+		n = new.Len
+	}
+	if LayoutEqual(old.Elem, new.Elem) {
+		tr.Copies = append(tr.Copies, FieldCopy{
+			Name:    old.Name,
+			SrcSize: n * old.Elem.Size, DstSize: n * new.Elem.Size,
+			Elem: old.Elem,
+		})
+		return tr, nil
+	}
+	// Element layout changed (e.g. an array of per-worker records whose
+	// record type grew): apply the element transformation at every index.
+	elemTr, err := Diff(old.Elem, new.Elem)
+	if err != nil {
+		return nil, fmt.Errorf("types: array %q element: %w", old.Name, err)
+	}
+	for i := uint64(0); i < n; i++ {
+		srcBase := i * old.Elem.Size
+		dstBase := i * new.Elem.Size
+		if elemTr.Identical {
+			tr.Copies = append(tr.Copies, FieldCopy{
+				Name:      fmt.Sprintf("%s[%d]", old.Name, i),
+				SrcOffset: srcBase, SrcSize: old.Elem.Size,
+				DstOffset: dstBase, DstSize: new.Elem.Size,
+				Elem: old.Elem,
+			})
+			continue
+		}
+		for _, c := range elemTr.Copies {
+			c.SrcOffset += srcBase
+			c.DstOffset += dstBase
+			c.Name = fmt.Sprintf("%s[%d].%s", old.Name, i, c.Name)
+			tr.Copies = append(tr.Copies, c)
+		}
+	}
+	tr.AddedFields = elemTr.AddedFields
+	tr.DroppedFields = elemTr.DroppedFields
+	return tr, nil
+}
+
+func isSigned(k Kind) bool {
+	switch k {
+	case KindInt8, KindInt16, KindInt32, KindInt64:
+		return true
+	}
+	return false
+}
+
+// LayoutEqual reports whether two types have identical memory layout and
+// tracing semantics (structural equality; names are ignored so that
+// re-declared identical types across versions match).
+func LayoutEqual(a, b *Type) bool {
+	return layoutEqual(a, b, 0)
+}
+
+func layoutEqual(a, b *Type, depth int) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if depth > 64 {
+		// Recursive types (struct list { struct list *next; }) bottom out
+		// here; by this depth the shapes have proven equal.
+		return true
+	}
+	if a.Kind != b.Kind || a.Size != b.Size || a.Align != b.Align {
+		return false
+	}
+	switch a.Kind {
+	case KindPtr:
+		// Pointer fields have identical layout regardless of pointee: a
+		// pointee whose type changed is handled by remapping the pointer
+		// value to the transformed object, not by reshaping the pointer.
+		return true
+	case KindArray:
+		return a.Len == b.Len && layoutEqual(a.Elem, b.Elem, depth+1)
+	case KindStruct, KindUnion:
+		if len(a.Fields) != len(b.Fields) {
+			return false
+		}
+		for i := range a.Fields {
+			af, bf := a.Fields[i], b.Fields[i]
+			if af.Name != bf.Name || af.Offset != bf.Offset {
+				return false
+			}
+			if !layoutEqual(af.Type, bf.Type, depth+1) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// RegistryDiff summarizes the type-level changes between two version
+// registries, feeding the "Type" changes column of Table 1.
+type RegistryDiff struct {
+	Added    []string
+	Deleted  []string
+	Modified []string
+}
+
+// DiffRegistries compares two version registries by type name.
+func DiffRegistries(old, new *Registry) RegistryDiff {
+	var d RegistryDiff
+	for _, name := range new.Names() {
+		nt := new.MustLookup(name)
+		ot, ok := old.Lookup(name)
+		switch {
+		case !ok:
+			d.Added = append(d.Added, name)
+		case !LayoutEqual(ot, nt):
+			d.Modified = append(d.Modified, name)
+		}
+	}
+	for _, name := range old.Names() {
+		if _, ok := new.Lookup(name); !ok {
+			d.Deleted = append(d.Deleted, name)
+		}
+	}
+	return d
+}

@@ -1,0 +1,288 @@
+package types
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func listType(withNew bool) *Type {
+	fields := []Field{
+		{Name: "value", Type: Scalar(KindInt32)},
+		{Name: "next", Type: PointerTo(nil)},
+	}
+	if withNew {
+		fields = append(fields, Field{Name: "new", Type: Scalar(KindInt32)})
+	}
+	return StructOf("l_t", fields...)
+}
+
+func TestDiffIdentical(t *testing.T) {
+	tr, err := Diff(listType(false), listType(false))
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if !tr.Identical {
+		t.Error("identical types not recognized as identical")
+	}
+}
+
+func TestDiffAddedFieldFigure2(t *testing.T) {
+	// Figure 2: the update adds a `new` field to l_t. The transformation
+	// must copy value and next and report `new` as added (zero-filled).
+	tr, err := Diff(listType(false), listType(true))
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if tr.Identical {
+		t.Fatal("changed type reported identical")
+	}
+	if len(tr.AddedFields) != 1 || tr.AddedFields[0] != "new" {
+		t.Errorf("AddedFields = %v, want [new]", tr.AddedFields)
+	}
+	if len(tr.Copies) != 2 {
+		t.Fatalf("Copies = %+v, want 2 entries", tr.Copies)
+	}
+	var ptrCopies int
+	for _, c := range tr.Copies {
+		if c.Ptr {
+			ptrCopies++
+		}
+	}
+	if ptrCopies != 1 {
+		t.Errorf("pointer-flagged copies = %d, want 1", ptrCopies)
+	}
+}
+
+func TestDiffDroppedField(t *testing.T) {
+	tr, err := Diff(listType(true), listType(false))
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if len(tr.DroppedFields) != 1 || tr.DroppedFields[0] != "new" {
+		t.Errorf("DroppedFields = %v, want [new]", tr.DroppedFields)
+	}
+}
+
+func TestDiffIntegerWidening(t *testing.T) {
+	old := StructOf("s", Field{Name: "n", Type: Scalar(KindInt32)})
+	new := StructOf("s", Field{Name: "n", Type: Scalar(KindInt64)})
+	tr, err := Diff(old, new)
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if len(tr.Copies) != 1 {
+		t.Fatalf("Copies = %+v", tr.Copies)
+	}
+	c := tr.Copies[0]
+	if c.SrcSize != 4 || c.DstSize != 8 || !c.Signed {
+		t.Errorf("copy = %+v, want 4->8 signed", c)
+	}
+}
+
+func TestDiffSemanticChangeErrors(t *testing.T) {
+	tests := []struct {
+		name     string
+		old, new *Type
+	}{
+		{
+			name: "field retyped int to ptr",
+			old:  StructOf("s", Field{Name: "x", Type: Scalar(KindInt64)}),
+			new:  StructOf("s", Field{Name: "x", Type: PointerTo(nil)}),
+		},
+		{
+			name: "kind change struct to union",
+			old:  StructOf("s", Field{Name: "x", Type: Scalar(KindInt32)}),
+			new:  UnionOf("s", Field{Name: "x", Type: Scalar(KindInt32)}),
+		},
+		{
+			name: "union member change",
+			old:  UnionOf("u", Field{Name: "a", Type: Scalar(KindInt64)}),
+			new:  UnionOf("u", Field{Name: "b", Type: PointerTo(nil)}),
+		},
+		{
+			name: "array element semantic change",
+			old:  ArrayOf(4, Scalar(KindInt64)),
+			new:  ArrayOf(4, PointerTo(nil)),
+		},
+		{
+			name: "nil old",
+			old:  nil,
+			new:  StructOf("s", Field{Name: "x", Type: Scalar(KindInt32)}),
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Diff(tt.old, tt.new)
+			if !errors.Is(err, ErrSemanticChange) {
+				t.Errorf("Diff err = %v, want ErrSemanticChange", err)
+			}
+		})
+	}
+}
+
+func TestDiffArrayShrinkGrow(t *testing.T) {
+	old := ArrayOf(8, Scalar(KindInt32))
+	grown := ArrayOf(16, Scalar(KindInt32))
+	tr, err := Diff(old, grown)
+	if err != nil {
+		t.Fatalf("Diff grow: %v", err)
+	}
+	if tr.Copies[0].SrcSize != 32 {
+		t.Errorf("grow copy size = %d, want 32 (8 elems preserved)", tr.Copies[0].SrcSize)
+	}
+	tr, err = Diff(grown, old)
+	if err != nil {
+		t.Fatalf("Diff shrink: %v", err)
+	}
+	if tr.Copies[0].DstSize != 32 {
+		t.Errorf("shrink copy size = %d, want 32 (truncate to 8 elems)", tr.Copies[0].DstSize)
+	}
+}
+
+func TestDiffArrayElementGrowth(t *testing.T) {
+	// An array of structs whose element type grew (the scoreboard case):
+	// the element transformation is applied at every index.
+	oldSlot := StructOf("slot", Field{Name: "pid", Type: Scalar(KindInt64)})
+	newSlot := StructOf("slot",
+		Field{Name: "pid", Type: Scalar(KindInt64)},
+		Field{Name: "extra", Type: Scalar(KindInt64)})
+	tr, err := Diff(ArrayOf(3, oldSlot), ArrayOf(3, newSlot))
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	if len(tr.Copies) != 3 {
+		t.Fatalf("copies = %d, want 3 (one per element)", len(tr.Copies))
+	}
+	for i, c := range tr.Copies {
+		if c.SrcOffset != uint64(i)*8 || c.DstOffset != uint64(i)*16 {
+			t.Errorf("copy %d offsets = %d->%d", i, c.SrcOffset, c.DstOffset)
+		}
+	}
+	// Element-wise integer widening is automatic too.
+	if _, err := Diff(ArrayOf(4, Scalar(KindInt32)), ArrayOf(4, Scalar(KindInt64))); err != nil {
+		t.Errorf("widening array elements: %v", err)
+	}
+}
+
+func TestLayoutEqualRecursiveType(t *testing.T) {
+	// Self-referential list types must compare without infinite recursion.
+	mk := func() *Type {
+		lt := &Type{Name: "l_t", Kind: KindStruct}
+		lt.Fields = []Field{
+			{Name: "value", Offset: 0, Type: Scalar(KindInt32)},
+			{Name: "next", Offset: 8, Type: PointerTo(lt)},
+		}
+		lt.Size, lt.Align = 16, 8
+		return lt
+	}
+	if !LayoutEqual(mk(), mk()) {
+		t.Error("structurally equal recursive types reported unequal")
+	}
+}
+
+func TestLayoutEqualNameIrrelevant(t *testing.T) {
+	a := StructOf("old_name", Field{Name: "x", Type: Scalar(KindInt32)})
+	b := StructOf("new_name", Field{Name: "x", Type: Scalar(KindInt32)})
+	if !LayoutEqual(a, b) {
+		t.Error("renamed identical structs reported unequal")
+	}
+}
+
+func TestLayoutEqualDetectsChanges(t *testing.T) {
+	base := StructOf("s",
+		Field{Name: "a", Type: Scalar(KindInt32)},
+		Field{Name: "b", Type: PointerTo(nil)},
+	)
+	changed := []*Type{
+		StructOf("s", Field{Name: "a", Type: Scalar(KindInt64)}, Field{Name: "b", Type: PointerTo(nil)}),
+		StructOf("s", Field{Name: "a", Type: Scalar(KindInt32)}),
+		StructOf("s", Field{Name: "renamed", Type: Scalar(KindInt32)}, Field{Name: "b", Type: PointerTo(nil)}),
+	}
+	for i, c := range changed {
+		if LayoutEqual(base, c) {
+			t.Errorf("case %d: changed struct reported layout-equal", i)
+		}
+	}
+}
+
+func TestDiffRegistries(t *testing.T) {
+	old := NewRegistry()
+	new := NewRegistry()
+	old.Define(StructOf("kept", Field{Name: "x", Type: Scalar(KindInt32)}))
+	new.Define(StructOf("kept", Field{Name: "x", Type: Scalar(KindInt32)}))
+	old.Define(StructOf("gone", Field{Name: "x", Type: Scalar(KindInt32)}))
+	new.Define(StructOf("fresh", Field{Name: "x", Type: Scalar(KindInt32)}))
+	old.Define(StructOf("mod", Field{Name: "x", Type: Scalar(KindInt32)}))
+	new.Define(StructOf("mod", Field{Name: "x", Type: Scalar(KindInt64)}))
+
+	d := DiffRegistries(old, new)
+	if len(d.Added) != 1 || d.Added[0] != "fresh" {
+		t.Errorf("Added = %v", d.Added)
+	}
+	if len(d.Deleted) != 1 || d.Deleted[0] != "gone" {
+		t.Errorf("Deleted = %v", d.Deleted)
+	}
+	if len(d.Modified) != 1 || d.Modified[0] != "mod" {
+		t.Errorf("Modified = %v", d.Modified)
+	}
+}
+
+// Property: for randomly generated struct shapes, Diff(t, t) is always
+// identical and layout flattening never produces overlapping pointer slots
+// or pointer slots inside opaque ranges.
+func TestQuickDiffSelfIdentity(t *testing.T) {
+	f := func(spec structSpec) bool {
+		st := spec.build("q")
+		tr, err := Diff(st, st)
+		if err != nil || !tr.Identical {
+			return false
+		}
+		l := LayoutOf(st, DefaultPolicy())
+		for i := 1; i < len(l.Ptrs); i++ {
+			if l.Ptrs[i].Offset < l.Ptrs[i-1].Offset+WordSize {
+				return false
+			}
+		}
+		for _, p := range l.Ptrs {
+			for _, o := range l.Opaques {
+				if p.Offset >= o.Offset && p.Offset < o.Offset+o.Size {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// structSpec is a quick-generatable recipe for a struct type: each byte
+// selects the next field's kind.
+type structSpec struct {
+	Recipe []byte
+}
+
+func (s structSpec) build(name string) *Type {
+	kinds := []*Type{
+		Scalar(KindInt8), Scalar(KindInt32), Scalar(KindInt64),
+		Scalar(KindUint64), PointerTo(nil), Scalar(KindUintPtr),
+		ArrayOf(8, Scalar(KindUint8)),
+	}
+	n := len(s.Recipe)
+	if n > 12 {
+		n = 12
+	}
+	fields := make([]Field, 0, n+1)
+	for i := 0; i < n; i++ {
+		fields = append(fields, Field{
+			Name: string(rune('a' + i)),
+			Type: kinds[int(s.Recipe[i])%len(kinds)],
+		})
+	}
+	if len(fields) == 0 {
+		fields = append(fields, Field{Name: "a", Type: Scalar(KindInt32)})
+	}
+	return StructOf(name, fields...)
+}

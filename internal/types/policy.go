@@ -1,0 +1,28 @@
+package types
+
+// Policy selects which memory areas mutable tracing treats as opaque
+// (conservatively scanned) versus precise. §6 of the paper: "Run-time
+// policies decide when a traversed memory area must be treated as opaque.
+// Our default is to do so for unions, pointer-sized integers, char arrays,
+// and uninstrumented allocator operations."
+type Policy struct {
+	OpaqueUnions       bool
+	OpaquePtrSizedInts bool
+	OpaqueCharArrays   bool
+}
+
+// DefaultPolicy mirrors the paper's default run-time policy.
+func DefaultPolicy() Policy {
+	return Policy{
+		OpaqueUnions:       true,
+		OpaquePtrSizedInts: true,
+		OpaqueCharArrays:   true,
+	}
+}
+
+// FullyPrecisePolicy trusts all declared type information, the behaviour of
+// prior whole-program solutions (Kitsune/Proteos) that require annotations
+// for every ambiguous case. Used by the tracing-strategy ablation.
+func FullyPrecisePolicy() Policy {
+	return Policy{}
+}

@@ -1,0 +1,73 @@
+package types
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry holds the named type descriptors of one program version, the Go
+// equivalent of the data-type tag tables emitted by MCR's LLVM pass. A
+// registry is populated while a program version is defined and is read-only
+// afterwards; lookups during tracing are concurrency-safe.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]*Type
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*Type)}
+}
+
+// Define registers t under its name. It panics on duplicate or anonymous
+// names: version definitions are static program descriptions, and a clash
+// is a programming error, not a run-time condition.
+func (r *Registry) Define(t *Type) *Type {
+	if t.Name == "" {
+		panic("types: Define requires a named type")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[t.Name]; dup {
+		panic(fmt.Sprintf("types: duplicate type definition %q", t.Name))
+	}
+	r.byName[t.Name] = t
+	return t
+}
+
+// Lookup returns the type registered under name.
+func (r *Registry) Lookup(name string) (*Type, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.byName[name]
+	return t, ok
+}
+
+// MustLookup is Lookup that panics when the name is unknown.
+func (r *Registry) MustLookup(name string) *Type {
+	t, ok := r.Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("types: unknown type %q", name))
+	}
+	return t
+}
+
+// Names returns all registered type names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered types.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byName)
+}

@@ -1,0 +1,259 @@
+package types
+
+import (
+	"testing"
+)
+
+func TestScalarSizes(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		size uint64
+	}{
+		{KindInt8, 1}, {KindUint8, 1},
+		{KindInt16, 2}, {KindUint16, 2},
+		{KindInt32, 4}, {KindUint32, 4},
+		{KindInt64, 8}, {KindUint64, 8},
+		{KindUintPtr, 8}, {KindFuncPtr, 8},
+	}
+	for _, tt := range tests {
+		s := Scalar(tt.kind)
+		if s.Size != tt.size {
+			t.Errorf("Scalar(%v).Size = %d, want %d", tt.kind, s.Size, tt.size)
+		}
+		if s.Align != tt.size {
+			t.Errorf("Scalar(%v).Align = %d, want %d", tt.kind, s.Align, tt.size)
+		}
+	}
+}
+
+func TestScalarPanicsOnAggregate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scalar(KindStruct) did not panic")
+		}
+	}()
+	Scalar(KindStruct)
+}
+
+func TestStructLayoutPadding(t *testing.T) {
+	// struct { char c; int n; char d; } -> c@0, n@4, d@8, size 12 on
+	// 4-byte int alignment.
+	st := StructOf("s",
+		Field{Name: "c", Type: Scalar(KindInt8)},
+		Field{Name: "n", Type: Scalar(KindInt32)},
+		Field{Name: "d", Type: Scalar(KindInt8)},
+	)
+	wantOffsets := []uint64{0, 4, 8}
+	for i, f := range st.Fields {
+		if f.Offset != wantOffsets[i] {
+			t.Errorf("field %s offset = %d, want %d", f.Name, f.Offset, wantOffsets[i])
+		}
+	}
+	if st.Size != 12 {
+		t.Errorf("size = %d, want 12", st.Size)
+	}
+	if st.Align != 4 {
+		t.Errorf("align = %d, want 4", st.Align)
+	}
+}
+
+func TestStructLayoutPointerAlignment(t *testing.T) {
+	// struct list { int value; struct list *next; } -> value@0, next@8,
+	// size 16 (the l_t type of Listing 1).
+	lt := StructOf("l_t",
+		Field{Name: "value", Type: Scalar(KindInt32)},
+		Field{Name: "next", Type: PointerTo(nil)},
+	)
+	if got, _ := lt.FieldByName("next"); got.Offset != 8 {
+		t.Errorf("next offset = %d, want 8", got.Offset)
+	}
+	if lt.Size != 16 {
+		t.Errorf("size = %d, want 16", lt.Size)
+	}
+}
+
+func TestUnionLayout(t *testing.T) {
+	u := UnionOf("u",
+		Field{Name: "p", Type: PointerTo(nil)},
+		Field{Name: "c", Type: Scalar(KindInt8)},
+	)
+	if u.Size != 8 || u.Align != 8 {
+		t.Errorf("union size/align = %d/%d, want 8/8", u.Size, u.Align)
+	}
+	for _, f := range u.Fields {
+		if f.Offset != 0 {
+			t.Errorf("union member %s offset = %d, want 0", f.Name, f.Offset)
+		}
+	}
+}
+
+func TestArrayOf(t *testing.T) {
+	a := ArrayOf(8, Scalar(KindUint8))
+	if a.Size != 8 || a.Len != 8 {
+		t.Errorf("array size/len = %d/%d, want 8/8", a.Size, a.Len)
+	}
+	if !a.IsCharArray() {
+		t.Error("ArrayOf(8, uint8) not recognized as char array")
+	}
+	b := ArrayOf(4, Scalar(KindInt32))
+	if b.IsCharArray() {
+		t.Error("ArrayOf(4, int32) wrongly recognized as char array")
+	}
+}
+
+func TestLayoutOfPreciseStruct(t *testing.T) {
+	lt := StructOf("l_t",
+		Field{Name: "value", Type: Scalar(KindInt32)},
+		Field{Name: "next", Type: PointerTo(nil)},
+	)
+	l := LayoutOf(lt, DefaultPolicy())
+	if len(l.Ptrs) != 1 || l.Ptrs[0].Offset != 8 {
+		t.Fatalf("Ptrs = %+v, want one slot at offset 8", l.Ptrs)
+	}
+	if len(l.Opaques) != 0 {
+		t.Errorf("Opaques = %+v, want none", l.Opaques)
+	}
+}
+
+func TestLayoutOfCharArrayOpaque(t *testing.T) {
+	b := ArrayOf(8, Scalar(KindUint8))
+	l := LayoutOf(b, DefaultPolicy())
+	if len(l.Opaques) != 1 || l.Opaques[0].Size != 8 {
+		t.Fatalf("Opaques = %+v, want one 8-byte range", l.Opaques)
+	}
+	// Under a fully precise policy the char array has no pointer slots and
+	// no opaque ranges: it is simply not traced.
+	l = LayoutOf(b, FullyPrecisePolicy())
+	if len(l.Opaques) != 0 || len(l.Ptrs) != 0 {
+		t.Errorf("precise policy: layout = %+v, want empty", l)
+	}
+}
+
+func TestLayoutOfNestedAndArrayExpansion(t *testing.T) {
+	inner := StructOf("inner",
+		Field{Name: "p", Type: PointerTo(nil)},
+		Field{Name: "n", Type: Scalar(KindInt64)},
+	)
+	outer := StructOf("outer",
+		Field{Name: "hdr", Type: Scalar(KindUint64)},
+		Field{Name: "elems", Type: ArrayOf(3, inner)},
+	)
+	l := LayoutOf(outer, DefaultPolicy())
+	want := []uint64{8, 24, 40}
+	if len(l.Ptrs) != 3 {
+		t.Fatalf("got %d pointer slots, want 3: %+v", len(l.Ptrs), l.Ptrs)
+	}
+	for i, p := range l.Ptrs {
+		if p.Offset != want[i] {
+			t.Errorf("ptr[%d].Offset = %d, want %d", i, p.Offset, want[i])
+		}
+	}
+}
+
+func TestLayoutOfUnionPolicy(t *testing.T) {
+	u := UnionOf("u",
+		Field{Name: "p", Type: PointerTo(nil)},
+		Field{Name: "n", Type: Scalar(KindUint64)},
+	)
+	l := LayoutOf(u, DefaultPolicy())
+	if len(l.Opaques) != 1 || len(l.Ptrs) != 0 {
+		t.Fatalf("default policy: layout = %+v, want single opaque range", l)
+	}
+	// Precise policy traces the first member.
+	l = LayoutOf(u, FullyPrecisePolicy())
+	if len(l.Ptrs) != 1 || l.Ptrs[0].Offset != 0 {
+		t.Fatalf("precise policy: layout = %+v, want ptr slot at 0", l)
+	}
+}
+
+func TestLayoutOpaqueCoalescing(t *testing.T) {
+	st := StructOf("s",
+		Field{Name: "b1", Type: ArrayOf(8, Scalar(KindUint8))},
+		Field{Name: "b2", Type: ArrayOf(8, Scalar(KindUint8))},
+		Field{Name: "p", Type: PointerTo(nil)},
+		Field{Name: "b3", Type: ArrayOf(8, Scalar(KindUint8))},
+	)
+	l := LayoutOf(st, DefaultPolicy())
+	if len(l.Opaques) != 2 {
+		t.Fatalf("Opaques = %+v, want 2 coalesced ranges", l.Opaques)
+	}
+	if l.Opaques[0].Offset != 0 || l.Opaques[0].Size != 16 {
+		t.Errorf("first opaque = %+v, want {0,16}", l.Opaques[0])
+	}
+}
+
+func TestHasPreciseInfo(t *testing.T) {
+	if HasPreciseInfo(nil, DefaultPolicy()) {
+		t.Error("nil type reported precise")
+	}
+	if HasPreciseInfo(Opaque(64), DefaultPolicy()) {
+		t.Error("opaque blob reported precise")
+	}
+	if HasPreciseInfo(ArrayOf(8, Scalar(KindUint8)), DefaultPolicy()) {
+		t.Error("char array reported precise under default policy")
+	}
+	lt := StructOf("l_t",
+		Field{Name: "value", Type: Scalar(KindInt32)},
+		Field{Name: "next", Type: PointerTo(nil)},
+	)
+	if !HasPreciseInfo(lt, DefaultPolicy()) {
+		t.Error("typed struct reported imprecise")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	lt := StructOf("l_t",
+		Field{Name: "value", Type: Scalar(KindInt32)},
+		Field{Name: "next", Type: PointerTo(nil)},
+	)
+	if got := lt.String(); got != "struct l_t" {
+		t.Errorf("String() = %q, want %q", got, "struct l_t")
+	}
+	if got := PointerTo(lt).String(); got != "*struct l_t" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := ArrayOf(4, Scalar(KindInt32)).String(); got != "[4]int32" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestRegistryDefineLookup(t *testing.T) {
+	r := NewRegistry()
+	lt := StructOf("l_t", Field{Name: "value", Type: Scalar(KindInt32)})
+	r.Define(lt)
+	got, ok := r.Lookup("l_t")
+	if !ok || got != lt {
+		t.Fatalf("Lookup returned %v, %v", got, ok)
+	}
+	if _, ok := r.Lookup("missing"); ok {
+		t.Error("Lookup found a type that was never defined")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Define(StructOf("t", Field{Name: "x", Type: Scalar(KindInt32)}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Define did not panic")
+		}
+	}()
+	r.Define(StructOf("t", Field{Name: "x", Type: Scalar(KindInt32)}))
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		r.Define(StructOf(n, Field{Name: "x", Type: Scalar(KindInt32)}))
+	}
+	names := r.Names()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+}

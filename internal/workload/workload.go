@@ -1,0 +1,263 @@
+// Package workload implements the client-side drivers of the evaluation:
+// the execution-stalling profiling workloads of §8 (long-lived
+// connections plus one large parallel transfer), the benchmark drivers
+// standing in for the Apache benchmark (AB), the pyftpdlib FTP benchmark
+// and the OpenSSH test suite, and the connection generators for the
+// state-transfer-vs-connections experiment (Figure 3).
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/kernel"
+)
+
+// Session is one live client session against a model server, carrying
+// whatever long-lived connections the protocol needs.
+type Session struct {
+	Conns []*kernel.ClientConn
+	// stop tells background pumping goroutines (stream readers) to quit.
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// Close terminates the session's connections and goroutines.
+func (s *Session) Close() {
+	s.once.Do(func() {
+		close(s.stop)
+		for _, c := range s.Conns {
+			c.Close()
+		}
+	})
+	s.wg.Wait()
+}
+
+func newSession(conns ...*kernel.ClientConn) *Session {
+	return &Session{Conns: conns, stop: make(chan struct{})}
+}
+
+// roundTrip sends a message and waits for one reply.
+func roundTrip(cc *kernel.ClientConn, msg string, timeout time.Duration) (string, error) {
+	if err := cc.Send([]byte(msg)); err != nil {
+		return "", err
+	}
+	resp, err := cc.Recv(timeout)
+	if err != nil {
+		return "", fmt.Errorf("workload: %q: %w", msg, err)
+	}
+	return string(resp), nil
+}
+
+const rtTimeout = 5 * time.Second
+
+// --- HTTP (httpd / nginx) ---------------------------------------------------
+
+// OpenKeepalive opens one keepalive HTTP session: the connection is
+// registered with the server's long-lived handler and can issue repeated
+// requests. For nginx every connection is long-lived by design, so the
+// first plain request plays the same role.
+func OpenKeepalive(k *kernel.Kernel, port int, nginxStyle bool) (*Session, error) {
+	cc, err := k.Connect(port)
+	if err != nil {
+		return nil, err
+	}
+	req := "GET /keepalive HTTP/1.1"
+	if nginxStyle {
+		req = "GET / HTTP/1.1"
+	}
+	if _, err := roundTrip(cc, req, rtTimeout); err != nil {
+		cc.Close()
+		return nil, err
+	}
+	return newSession(cc), nil
+}
+
+// KeepaliveRequest issues one more request on an established keepalive
+// session and returns the reply.
+func KeepaliveRequest(s *Session, msg string) (string, error) {
+	return roundTrip(s.Conns[0], msg, rtTimeout)
+}
+
+// StartStream starts a large streaming transfer (the "one HTTP request
+// for a very large file in parallel" of the profiling workload): a
+// background goroutine acknowledges chunks slowly so the transfer stays
+// in flight.
+func StartStream(k *kernel.Kernel, port int) (*Session, error) {
+	cc, err := k.Connect(port)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := roundTrip(cc, "GET /stream HTTP/1.1", rtTimeout); err != nil {
+		cc.Close()
+		return nil, err
+	}
+	s := newSession(cc)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+			if _, err := cc.Recv(200 * time.Millisecond); err != nil {
+				if errors.Is(err, kernel.ErrClosed) {
+					return
+				}
+				continue
+			}
+			time.Sleep(2 * time.Millisecond) // slow consumer
+			if cc.Send([]byte("ACK")) != nil {
+				return
+			}
+		}
+	}()
+	return s, nil
+}
+
+// OpenCGI opens a CGI session (long-lived CGI process conversation).
+func OpenCGI(k *kernel.Kernel, port int) (*Session, error) {
+	cc, err := k.Connect(port)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := roundTrip(cc, "GET /cgi/env HTTP/1.1", rtTimeout); err != nil {
+		cc.Close()
+		return nil, err
+	}
+	return newSession(cc), nil
+}
+
+// --- FTP (vsftpd) -----------------------------------------------------------
+
+// OpenFTP opens an authenticated FTP control session (the
+// post-authentication state of the profiling workload).
+func OpenFTP(k *kernel.Kernel, port int, user string) (*Session, error) {
+	cc, err := k.Connect(port)
+	if err != nil {
+		return nil, err
+	}
+	s := newSession(cc)
+	if _, err := cc.Recv(rtTimeout); err != nil { // 220 greeting
+		s.Close()
+		return nil, err
+	}
+	if _, err := roundTrip(cc, "USER "+user, rtTimeout); err != nil {
+		s.Close()
+		return nil, err
+	}
+	if _, err := roundTrip(cc, "PASS secret", rtTimeout); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// FTPCommand issues a control-channel command.
+func FTPCommand(s *Session, cmd string) (string, error) {
+	return roundTrip(s.Conns[0], cmd, rtTimeout)
+}
+
+// EnterPassive issues PASV and opens the data connection, appending it to
+// the session (Conns[1]).
+func EnterPassive(k *kernel.Kernel, s *Session) error {
+	resp, err := roundTrip(s.Conns[0], "PASV", rtTimeout)
+	if err != nil {
+		return err
+	}
+	var port int
+	if _, err := fmt.Sscanf(resp, "227 Entering Passive Mode (port %d).", &port); err != nil {
+		return fmt.Errorf("workload: bad PASV reply %q: %w", resp, err)
+	}
+	// The passive listener's accept thread needs a moment to pick the
+	// connection up and register the data fd server-side.
+	dc, err := k.Connect(port)
+	if err != nil {
+		return err
+	}
+	s.Conns = append(s.Conns, dc)
+	time.Sleep(5 * time.Millisecond)
+	return nil
+}
+
+// StartRetrieve begins a throttled large-file retrieval on an
+// authenticated passive-mode session (the in-flight transfer of the
+// profiling workload). Chunks arrive on the data connection and are
+// acknowledged slowly in the background.
+func StartRetrieve(s *Session, file string) error {
+	if len(s.Conns) < 2 {
+		return errors.New("workload: StartRetrieve needs a passive data connection")
+	}
+	cc, dc := s.Conns[0], s.Conns[1]
+	if err := cc.Send([]byte("RETR " + file)); err != nil {
+		return err
+	}
+	if _, err := cc.Recv(rtTimeout); err != nil { // 150 opening
+		return err
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+			if _, err := dc.Recv(200 * time.Millisecond); err != nil {
+				if errors.Is(err, kernel.ErrClosed) {
+					return
+				}
+				continue
+			}
+			time.Sleep(2 * time.Millisecond)
+			if dc.Send([]byte("ACK")) != nil {
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// --- SSH (sshd) ------------------------------------------------------------
+
+// OpenSSH opens an SSH session. authenticated selects the
+// post-authentication state; otherwise the session stalls in
+// authentication (both states appear in the profiling workload).
+func OpenSSH(k *kernel.Kernel, port int, user string, authenticated bool) (*Session, error) {
+	cc, err := k.Connect(port)
+	if err != nil {
+		return nil, err
+	}
+	s := newSession(cc)
+	if _, err := cc.Recv(rtTimeout); err != nil { // server banner
+		s.Close()
+		return nil, err
+	}
+	if _, err := roundTrip(cc, "SSH-2.0-workload-client", rtTimeout); err != nil {
+		s.Close()
+		return nil, err
+	}
+	if authenticated {
+		resp, err := roundTrip(cc, fmt.Sprintf("AUTH %s hunter2", user), rtTimeout)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		if resp != "AUTH_OK" {
+			s.Close()
+			return nil, fmt.Errorf("workload: auth failed: %s", resp)
+		}
+	}
+	return s, nil
+}
+
+// SSHExec runs a command on an authenticated session.
+func SSHExec(s *Session, cmd string) (string, error) {
+	return roundTrip(s.Conns[0], "EXEC "+cmd, rtTimeout)
+}
