@@ -11,108 +11,45 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-
-	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		table      = flag.Int("table", 0, "regenerate table N (1, 2 or 3)")
-		figure3    = flag.Bool("figure3", false, "regenerate Figure 3")
-		memory     = flag.Bool("memory", false, "memory-usage comparison")
-		spec       = flag.Bool("spec", false, "SPEC-like allocator overhead")
-		updateTime = flag.Bool("updatetime", false, "update-time components")
-		dirty      = flag.Bool("dirtystats", false, "dirty-filter reduction")
-		all        = flag.Bool("all", false, "run every experiment")
-		full       = flag.Bool("full", false, "paper-scale parameters (slow)")
-		reps       = flag.Int("reps", 3, "repetitions for Table 3 (best-of)")
+		table       = flag.Int("table", 0, "regenerate table N (1, 2 or 3)")
+		figure3     = flag.Bool("figure3", false, "regenerate Figure 3")
+		memory      = flag.Bool("memory", false, "memory-usage comparison")
+		spec        = flag.Bool("spec", false, "SPEC-like allocator overhead")
+		updateTime  = flag.Bool("updatetime", false, "update-time components")
+		dirty       = flag.Bool("dirtystats", false, "dirty-filter reduction")
+		all         = flag.Bool("all", false, "run every experiment")
+		full        = flag.Bool("full", false, "paper-scale parameters (slow)")
+		reps        = flag.Int("reps", 3, "repetitions for Table 3 (best-of)")
+		parallelism = flag.Int("parallelism", 0, "state-transfer workers per process (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
 
-	scale := experiments.Quick
-	if *full {
-		scale = experiments.Full
+	cfg := config{
+		Table:       *table,
+		Figure3:     *figure3,
+		Memory:      *memory,
+		Spec:        *spec,
+		UpdateTime:  *updateTime,
+		Dirty:       *dirty,
+		All:         *all,
+		Full:        *full,
+		Reps:        *reps,
+		Parallelism: *parallelism,
 	}
-	ran := false
-	fail := func(what string, err error) {
-		fmt.Fprintf(os.Stderr, "mcr-bench: %s: %v\n", what, err)
+	if err := run(cfg, os.Stdout); err != nil {
+		if errors.Is(err, errNothingSelected) {
+			flag.Usage()
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "mcr-bench:", err)
 		os.Exit(1)
-	}
-
-	if *all || *table == 1 {
-		ran = true
-		res, err := experiments.RunTable1(scale)
-		if err != nil {
-			fail("table 1", err)
-		}
-		fmt.Println(res.Render())
-	}
-	if *all || *table == 2 {
-		ran = true
-		res, err := experiments.RunTable2(scale)
-		if err != nil {
-			fail("table 2", err)
-		}
-		fmt.Println(res.Render())
-	}
-	if *all || *table == 3 {
-		ran = true
-		res, err := experiments.RunTable3(scale, *reps)
-		if err != nil {
-			fail("table 3", err)
-		}
-		fmt.Println(res.Render())
-	}
-	if *all || *figure3 {
-		ran = true
-		res, err := experiments.RunFigure3(scale)
-		if err != nil {
-			fail("figure 3", err)
-		}
-		fmt.Println(res.Render())
-	}
-	if *all || *dirty {
-		ran = true
-		stats, err := experiments.RunDirtyStats(scale)
-		if err != nil {
-			fail("dirty stats", err)
-		}
-		fmt.Println("Dirty-object tracking: state-transfer reduction (paper: 68%-86% at 100 conns)")
-		for _, d := range stats {
-			fmt.Printf("%-8s conns=%-4d filtered=%-8d unfiltered=%-8d reduction=%.0f%%\n",
-				d.Name, d.Connections, d.Filtered, d.Unfiltered, d.Reduction()*100)
-		}
-		fmt.Println()
-	}
-	if *all || *memory {
-		ran = true
-		res, err := experiments.RunMemory(scale)
-		if err != nil {
-			fail("memory", err)
-		}
-		fmt.Println(res.Render())
-	}
-	if *all || *spec {
-		ran = true
-		res, err := experiments.RunSpec(scale)
-		if err != nil {
-			fail("spec", err)
-		}
-		fmt.Println(res.Render())
-	}
-	if *all || *updateTime {
-		ran = true
-		res, err := experiments.RunUpdateTime(scale)
-		if err != nil {
-			fail("update time", err)
-		}
-		fmt.Println(res.Render())
-	}
-	if !ran {
-		flag.Usage()
-		os.Exit(2)
 	}
 }

@@ -10,100 +10,30 @@
 //
 // Usage:
 //
-//	mcr-ctl -server nginx -updates 3
+//	mcr-ctl -server nginx -updates 3 [-parallelism N]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-
-	"repro/internal/core"
-	"repro/internal/kernel"
-	"repro/internal/servers"
-	"repro/internal/workload"
 )
-
-const ctlPath = "/run/mcr.sock"
 
 func main() {
 	var (
-		server  = flag.String("server", "nginx", "server to run (httpd, nginx, vsftpd, sshd)")
-		updates = flag.Int("updates", 2, "number of staged updates to deploy")
+		server      = flag.String("server", "nginx", "server to run (httpd, nginx, vsftpd, sshd)")
+		updates     = flag.Int("updates", 2, "number of staged updates to deploy")
+		parallelism = flag.Int("parallelism", 0, "state-transfer workers per process (0 = all CPUs, 1 = sequential)")
 	)
 	flag.Parse()
 
-	spec, err := servers.SpecByName(*server)
-	if err != nil {
+	cfg := config{Server: *server, Updates: *updates, Parallelism: *parallelism}
+	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mcr-ctl:", err)
-		os.Exit(2)
-	}
-	if *updates >= spec.NumVersions {
-		*updates = spec.NumVersions - 1
-	}
-	if spec.Name == "httpd" {
-		servers.SetHttpdPoolThreads(4)
-	}
-
-	k := kernel.New()
-	servers.SeedFiles(k)
-	engine := core.NewEngine(k, core.Options{})
-	if _, err := engine.Launch(spec.Version(0)); err != nil {
-		fmt.Fprintln(os.Stderr, "mcr-ctl: launch:", err)
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
-	defer engine.Shutdown()
-	fmt.Printf("launched %s-%s on port %d\n", spec.Name, spec.Version(0).Release, spec.Port)
-
-	ctl := core.NewController(engine, ctlPath)
-	for i := 1; i <= *updates; i++ {
-		v := spec.Version(i)
-		ctl.Stage(v)
-		fmt.Printf("staged update %s\n", v.Release)
-	}
-	if err := ctl.Start(); err != nil {
-		fmt.Fprintln(os.Stderr, "mcr-ctl: controller:", err)
-		os.Exit(1)
-	}
-	defer ctl.Stop()
-
-	// A client session whose state must survive every update.
-	sessions, err := workload.OpenSessions(k, spec.Name, spec.Port, 1)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mcr-ctl: client:", err)
-		os.Exit(1)
-	}
-	defer workload.CloseSessions(sessions)
-
-	send := func(req string) {
-		resp, err := core.CtlRequest(k, ctlPath, req)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mcr-ctl: %q: %v\n", req, err)
-			os.Exit(1)
-		}
-		fmt.Printf("$ mcr-ctl %-24s -> %s\n", req, resp)
-	}
-
-	send("ping")
-	send("status")
-	for i := 1; i <= *updates; i++ {
-		send("update " + spec.Version(i).Release)
-		send("status")
-		// Prove the pre-update session still answers.
-		var resp string
-		switch spec.Name {
-		case "httpd", "nginx":
-			resp, err = workload.KeepaliveRequest(sessions[0], "GET /after-update")
-		case "vsftpd":
-			resp, err = workload.FTPCommand(sessions[0], "STAT")
-		case "sshd":
-			resp, err = workload.SSHExec(sessions[0], "uptime")
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mcr-ctl: session died after update %d: %v\n", i, err)
-			os.Exit(1)
-		}
-		fmt.Printf("  client session alive: %s\n", resp)
-	}
-	fmt.Println("done: all updates deployed live; the client session never reconnected")
 }

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/servers"
+	"repro/internal/workload"
+)
+
+const ctlPath = "/run/mcr.sock"
+
+// errUsage marks operator errors (bad flags, unknown server) that should
+// exit with the usage status instead of the failure status.
+var errUsage = errors.New("usage error")
+
+// config is the parsed command line.
+type config struct {
+	Server      string
+	Updates     int
+	Parallelism int // state-transfer workers (0 = GOMAXPROCS, 1 = sequential)
+}
+
+// run executes the whole scenario — launch, stage, update, verify the
+// client session — writing progress to out. Factored out of main so tests
+// can drive it end to end.
+func run(cfg config, out io.Writer) error {
+	if cfg.Parallelism < 0 {
+		return fmt.Errorf("%w: -parallelism must be >= 0, got %d", errUsage, cfg.Parallelism)
+	}
+	spec, err := servers.SpecByName(cfg.Server)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	updates := cfg.Updates
+	if updates >= spec.NumVersions {
+		updates = spec.NumVersions - 1
+	}
+	if spec.Name == "httpd" {
+		servers.SetHttpdPoolThreads(4)
+	}
+
+	k := kernel.New()
+	servers.SeedFiles(k)
+	engine := core.NewEngine(k, core.Options{Parallelism: cfg.Parallelism})
+	if _, err := engine.Launch(spec.Version(0)); err != nil {
+		return fmt.Errorf("launch: %w", err)
+	}
+	defer engine.Shutdown()
+	fmt.Fprintf(out, "launched %s-%s on port %d\n", spec.Name, spec.Version(0).Release, spec.Port)
+
+	ctl := core.NewController(engine, ctlPath)
+	for i := 1; i <= updates; i++ {
+		v := spec.Version(i)
+		ctl.Stage(v)
+		fmt.Fprintf(out, "staged update %s\n", v.Release)
+	}
+	if err := ctl.Start(); err != nil {
+		return fmt.Errorf("controller: %w", err)
+	}
+	defer ctl.Stop()
+
+	// A client session whose state must survive every update.
+	sessions, err := workload.OpenSessions(k, spec.Name, spec.Port, 1)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer workload.CloseSessions(sessions)
+
+	send := func(req string) error {
+		resp, err := core.CtlRequest(k, ctlPath, req)
+		if err != nil {
+			return fmt.Errorf("%q: %w", req, err)
+		}
+		fmt.Fprintf(out, "$ mcr-ctl %-24s -> %s\n", req, resp)
+		return nil
+	}
+
+	if err := send("ping"); err != nil {
+		return err
+	}
+	if err := send("status"); err != nil {
+		return err
+	}
+	for i := 1; i <= updates; i++ {
+		if err := send("update " + spec.Version(i).Release); err != nil {
+			return err
+		}
+		if err := send("status"); err != nil {
+			return err
+		}
+		// Prove the pre-update session still answers.
+		var resp string
+		switch spec.Name {
+		case "httpd", "nginx":
+			resp, err = workload.KeepaliveRequest(sessions[0], "GET /after-update")
+		case "vsftpd":
+			resp, err = workload.FTPCommand(sessions[0], "STAT")
+		case "sshd":
+			resp, err = workload.SSHExec(sessions[0], "uptime")
+		}
+		if err != nil {
+			return fmt.Errorf("session died after update %d: %w", i, err)
+		}
+		fmt.Fprintf(out, "  client session alive: %s\n", resp)
+	}
+	fmt.Fprintln(out, "done: all updates deployed live; the client session never reconnected")
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownServerIsUsageError(t *testing.T) {
+	var out strings.Builder
+	err := run(config{Server: "no-such-server", Updates: 1}, &out)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("err = %v, want errUsage", err)
+	}
+}
+
+func TestRunNegativeParallelismIsUsageError(t *testing.T) {
+	var out strings.Builder
+	err := run(config{Server: "nginx", Updates: 1, Parallelism: -1}, &out)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("err = %v, want errUsage", err)
+	}
+}
+
+func TestRunDeploysUpdateAndKeepsSession(t *testing.T) {
+	var out strings.Builder
+	if err := run(config{Server: "nginx", Updates: 1, Parallelism: 2}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"launched nginx-",
+		"staged update",
+		"-> PONG",
+		"OK updated to",
+		"client session alive:",
+		"done: all updates deployed live",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunClampsUpdatesToAvailableVersions(t *testing.T) {
+	var out strings.Builder
+	// Far more updates than staged versions exist: run must clamp, deploy
+	// what is available, and still finish cleanly.
+	if err := run(config{Server: "nginx", Updates: 99, Parallelism: 1}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "done: all updates deployed live") {
+		t.Errorf("scenario did not complete:\n%s", out.String())
+	}
+}

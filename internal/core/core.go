@@ -51,6 +51,9 @@ type Options struct {
 	// DisableDirtyFilter transfers all state, ignoring soft-dirty bits
 	// (ablation).
 	DisableDirtyFilter bool
+	// Parallelism is the per-process state-transfer worker count
+	// (0 = GOMAXPROCS, 1 = sequential); see trace.Options.Parallelism.
+	Parallelism int
 	// PolicySet marks Policy as explicitly provided (a zero Policy is the
 	// fully-precise ablation).
 	PolicySet bool
@@ -260,6 +263,7 @@ func (e *Engine) Update(v2 *program.Version) (*UpdateReport, error) {
 		Policy:             e.opts.Policy,
 		TransferLibs:       e.opts.TransferLibs,
 		DisableDirtyFilter: e.opts.DisableDirtyFilter,
+		Parallelism:        e.opts.Parallelism,
 	})
 	rep.Transfer = stats
 	if err != nil {

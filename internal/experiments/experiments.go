@@ -14,6 +14,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -77,8 +78,21 @@ func (s Scale) connPoints() []int {
 	return []int{0, 5, 10}
 }
 
+// transferParallelism is the state-transfer worker count applied to every
+// experiment engine (0 = trace-layer default); mcr-bench's -parallelism
+// flag sets it. Atomic because experiments may launch servers from
+// goroutines concurrent with a caller adjusting the setting.
+var transferParallelism atomic.Int64
+
+// SetTransferParallelism overrides the state-transfer worker count used by
+// all subsequently launched experiment engines.
+func SetTransferParallelism(n int) { transferParallelism.Store(int64(n)) }
+
 // launchServer starts one server on a fresh kernel.
 func launchServer(spec *servers.Spec, opts core.Options) (*core.Engine, *kernel.Kernel, error) {
+	if opts.Parallelism == 0 {
+		opts.Parallelism = int(transferParallelism.Load())
+	}
 	k := kernel.New()
 	servers.SeedFiles(k)
 	e := core.NewEngine(k, opts)

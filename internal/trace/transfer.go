@@ -1,8 +1,11 @@
 package trace
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/mem"
@@ -61,6 +64,31 @@ type Options struct {
 	// DisableDirtyFilter transfers every discovered object, ignoring
 	// soft-dirty tracking (the D1 ablation).
 	DisableDirtyFilter bool
+	// Parallelism is the number of worker goroutines used inside one
+	// process's transfer, for both graph discovery and object copying.
+	// 0 means runtime.GOMAXPROCS(0); 1 runs the plain sequential
+	// algorithm with no worker machinery; negative values are treated as
+	// 1 (fail safe, not wide). Successful transfers are bit-identical at
+	// every setting: discovery order is canonicalized before pairing, so
+	// reallocation addresses, remapped contents and statistics do not
+	// depend on worker scheduling. A conflicting transfer reports the
+	// same (lowest-ordered) first conflict at every setting, but the
+	// statistics of the aborted attempt may include more completed work
+	// under parallelism; rollback discards the attempt either way.
+	// With Parallelism > 1 user object handlers run concurrently — see
+	// program.ObjHandler for the thread-safety contract.
+	Parallelism int
+}
+
+// workers resolves Parallelism to an effective worker count.
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	if o.Parallelism < 0 {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 type pairEntry struct {
@@ -121,71 +149,123 @@ func TransferProc(oldProc, newProc *program.Proc, an *Analysis, opts Options) (S
 
 // discover walks the old object graph from the roots (static, stack and
 // opted-in lib objects), following precise pointer slots and likely
-// pointers, and returns the reachable objects in deterministic order.
+// pointers, and returns the reachable objects sorted by address. The order
+// is canonical — independent of traversal strategy and worker scheduling —
+// because pair() reallocates objects in this order, and reallocation
+// addresses must not depend on Parallelism.
 func (pt *procTransfer) discover() ([]*mem.Object, error) {
+	var roots []*mem.Object
+	for _, o := range pt.oldProc.Index().All() {
+		switch o.Kind {
+		case mem.ObjStatic, mem.ObjStack:
+			roots = append(roots, o)
+		case mem.ObjLib:
+			if pt.opts.TransferLibs[o.Name] {
+				roots = append(roots, o)
+			}
+		}
+	}
+	var out []*mem.Object
+	var err error
+	if w := pt.opts.workers(); w > 1 {
+		out, err = pt.discoverParallel(roots, w)
+	} else {
+		out, err = pt.discoverSeq(roots)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	for _, o := range out {
+		pt.stats.ObjectsDiscovered++
+		pt.stats.BytesTotalState += o.Size
+	}
+	return out, nil
+}
+
+// scanObject reads every traced pointer of o (precise slots, then the
+// conservative scan of its opaque ranges) and calls visit for each live
+// target, filtering non-transferred library objects. The object is read
+// with one locked ReadAt into the caller's scratch buffer (reused across
+// objects, grown on demand) and scanned locally, so concurrent workers
+// contend on the address-space lock once per object, not once per word,
+// and discovery does not allocate per object. It is read-only on pt and
+// safe for concurrent use with a scratch buffer per worker.
+func (pt *procTransfer) scanObject(o *mem.Object, scratch *[]byte, visit func(*mem.Object)) error {
+	opaques, ptrs := opaqueRangesOf(o, pt.opts.Policy)
+	if len(opaques) == 0 && len(ptrs) == 0 {
+		// Pointer-free layout (scalars only): nothing to trace, skip the
+		// read entirely.
+		return nil
+	}
 	ix := pt.oldProc.Index()
-	as := pt.oldProc.Space()
-	var queue []*mem.Object
+	if uint64(cap(*scratch)) < o.Size {
+		*scratch = make([]byte, o.Size)
+	}
+	buf := (*scratch)[:o.Size]
+	if err := pt.oldProc.Space().ReadAt(o.Addr, buf); err != nil {
+		return err
+	}
+	for _, slot := range ptrs {
+		if slot.Func || slot.Offset+8 > o.Size {
+			continue
+		}
+		word := binary.LittleEndian.Uint64(buf[slot.Offset:])
+		if word == 0 {
+			continue
+		}
+		if target, ok := ix.Containing(mem.Addr(word)); ok {
+			if target.Kind != mem.ObjLib || pt.opts.TransferLibs[target.Name] {
+				visit(target)
+			}
+		}
+	}
+	for _, r := range opaques {
+		end := r.Offset + r.Size
+		if end > o.Size {
+			end = o.Size
+		}
+		for off := (r.Offset + 7) &^ 7; off+8 <= end; off += 8 {
+			word := binary.LittleEndian.Uint64(buf[off:])
+			if target, ok := likelyPointer(ix, word); ok {
+				if target.Kind != mem.ObjLib || pt.opts.TransferLibs[target.Name] {
+					visit(target)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// discoverSeq is the single-worker BFS. Like the parallel traversal it
+// completes the walk even past scan failures (a failed object contributes
+// no successors either way) and reports the lowest-address failure, so a
+// failing discovery names the same object at every Parallelism setting.
+func (pt *procTransfer) discoverSeq(roots []*mem.Object) ([]*mem.Object, error) {
 	seen := make(map[mem.Addr]bool)
+	var queue []*mem.Object
 	push := func(o *mem.Object) {
 		if !seen[o.Addr] {
 			seen[o.Addr] = true
 			queue = append(queue, o)
 		}
 	}
-	for _, o := range ix.All() {
-		switch o.Kind {
-		case mem.ObjStatic, mem.ObjStack:
-			push(o)
-		case mem.ObjLib:
-			if pt.opts.TransferLibs[o.Name] {
-				push(o)
-			}
-		}
+	for _, o := range roots {
+		push(o)
 	}
 	var out []*mem.Object
+	var scratch []byte
+	var fail scanFailure
 	for len(queue) > 0 {
 		o := queue[0]
 		queue = queue[1:]
 		out = append(out, o)
-		pt.stats.ObjectsDiscovered++
-		pt.stats.BytesTotalState += o.Size
-
-		opaques, ptrs := opaqueRangesOf(o, pt.opts.Policy)
-		for _, slot := range ptrs {
-			if slot.Func || slot.Offset+8 > o.Size {
-				continue
-			}
-			word, err := as.ReadWord(o.Addr + mem.Addr(slot.Offset))
-			if err != nil {
-				return nil, err
-			}
-			if word == 0 {
-				continue
-			}
-			if target, ok := ix.Containing(mem.Addr(word)); ok {
-				if target.Kind != mem.ObjLib || pt.opts.TransferLibs[target.Name] {
-					push(target)
-				}
-			}
+		if err := pt.scanObject(o, &scratch, push); err != nil {
+			fail = mergeFailure(fail, o.Addr, err)
 		}
-		for _, r := range opaques {
-			end := r.Offset + r.Size
-			if end > o.Size {
-				end = o.Size
-			}
-			for off := (r.Offset + 7) &^ 7; off+8 <= end; off += 8 {
-				word, err := as.ReadWord(o.Addr + mem.Addr(off))
-				if err != nil {
-					return nil, err
-				}
-				if target, ok := likelyPointer(ix, word); ok {
-					if target.Kind != mem.ObjLib || pt.opts.TransferLibs[target.Name] {
-						push(target)
-					}
-				}
-			}
-		}
+	}
+	if fail.err != nil {
+		return nil, fail.err
 	}
 	return out, nil
 }
@@ -356,7 +436,8 @@ func (pt *procTransfer) DefaultTransfer(oldObj, newObj *mem.Object) error {
 	if e == nil {
 		e = &pairEntry{oldObj: oldObj, newObj: newObj}
 	}
-	return pt.transferObject(e)
+	var scratch []byte
+	return pt.transferObject(e, &scratch)
 }
 
 var _ program.TransferContext = (*procTransfer)(nil)
@@ -364,43 +445,67 @@ var _ program.TransferContext = (*procTransfer)(nil)
 // copyContents performs the actual state copy: dirty objects (and all
 // post-startup reallocations) are transformed and remapped into the new
 // version; clean startup objects are left to mutable reinitialization.
+// With Parallelism > 1 the object pairs are processed by a worker pool:
+// every pair writes only into its own (disjoint) new-object range, stats
+// accumulate into per-worker shards merged at the end, and on conflict the
+// error of the lowest-index object is returned — the same conflict the
+// sequential pass reports first, keeping rollback reproducible.
 func (pt *procTransfer) copyContents(reachable []*mem.Object) error {
+	if w := pt.opts.workers(); w > 1 && len(reachable) > 1 {
+		return pt.copyContentsParallel(reachable, w)
+	}
+	var scratch []byte
 	for _, o := range reachable {
-		e := pt.pairs[o.Addr]
-		if e == nil || e.newObj == nil {
-			continue
-		}
-		needsCopy := pt.dirty[o.Addr] || !o.Startup || pt.opts.DisableDirtyFilter
-		if o.Kind == mem.ObjHeap && o.Startup && pt.bySiteSeq[mem.PlanKey{Site: o.Site, Seq: o.Seq}] == nil {
-			// Startup object the new version did not recreate: must copy.
-			needsCopy = true
-		}
-		if !needsCopy {
-			pt.stats.ObjectsSkippedClean++
-			continue
-		}
-		if h, ok := pt.ann.ObjHandler(o.Name); ok {
-			pt.stats.HandlerInvocations++
-			if err := h(pt, o, e.newObj); err != nil {
-				return conflictf("handler for %s: %v", o, err)
-			}
-			pt.stats.ObjectsTransferred++
-			pt.stats.BytesTransferred += o.Size
-			continue
-		}
-		if err := pt.transferObject(e); err != nil {
+		if err := pt.transferOne(o, &pt.stats, &scratch); err != nil {
 			return err
 		}
-		pt.stats.ObjectsTransferred++
-		pt.stats.BytesTransferred += o.Size
 	}
+	return nil
+}
+
+// transferOne copies one reachable object into its new-version pair,
+// accumulating into st and staging copies in the caller's reused scratch
+// buffer. It writes only within the paired new object's range, so
+// distinct objects can transfer concurrently (one scratch per worker).
+func (pt *procTransfer) transferOne(o *mem.Object, st *Stats, scratch *[]byte) error {
+	e := pt.pairs[o.Addr]
+	if e == nil || e.newObj == nil {
+		return nil
+	}
+	needsCopy := pt.dirty[o.Addr] || !o.Startup || pt.opts.DisableDirtyFilter
+	if o.Kind == mem.ObjHeap && o.Startup && pt.bySiteSeq[mem.PlanKey{Site: o.Site, Seq: o.Seq}] == nil {
+		// Startup object the new version did not recreate: must copy.
+		needsCopy = true
+	}
+	if !needsCopy {
+		st.ObjectsSkippedClean++
+		return nil
+	}
+	if h, ok := pt.ann.ObjHandler(o.Name); ok {
+		st.HandlerInvocations++
+		if err := h(pt, o, e.newObj); err != nil {
+			return conflictf("handler for %s: %v", o, err)
+		}
+		st.ObjectsTransferred++
+		st.BytesTransferred += o.Size
+		return nil
+	}
+	if err := pt.transferObject(e, scratch); err != nil {
+		return err
+	}
+	st.ObjectsTransferred++
+	st.BytesTransferred += o.Size
 	return nil
 }
 
 // transferObject applies the automatic transformation for one object pair:
 // verbatim copy (plus precise pointer remap) for layout-identical pairs,
-// field-mapped transformation otherwise.
-func (pt *procTransfer) transferObject(e *pairEntry) error {
+// field-mapped transformation otherwise. For the layout-identical case the
+// copy is staged in the caller's reused scratch buffer and the pointers
+// are remapped there, so the new address space is written with a single
+// locked WriteAt per object — the short serial section concurrent copy
+// workers contend on — and the hot path does not allocate per object.
+func (pt *procTransfer) transferObject(e *pairEntry, scratch *[]byte) error {
 	oldAS, newAS := pt.oldProc.Space(), pt.newProc.Space()
 	o, n := e.oldObj, e.newObj
 	if e.transform == nil || e.transform.Identical {
@@ -408,14 +513,15 @@ func (pt *procTransfer) transferObject(e *pairEntry) error {
 		if n.Size < size {
 			size = n.Size
 		}
-		buf := make([]byte, size)
+		if uint64(cap(*scratch)) < size {
+			*scratch = make([]byte, size)
+		}
+		buf := (*scratch)[:size]
 		if err := oldAS.ReadAt(o.Addr, buf); err != nil {
 			return err
 		}
-		if err := newAS.WriteAt(n.Addr, buf); err != nil {
-			return err
-		}
-		return pt.remapSlots(n, n.Type, 0, 0, o)
+		pt.remapInBuf(buf, n.Type)
+		return newAS.WriteAt(n.Addr, buf)
 	}
 	// Layout changed: apply the field map.
 	tr := e.transform
@@ -425,6 +531,28 @@ func (pt *procTransfer) transferObject(e *pairEntry) error {
 		}
 	}
 	return nil
+}
+
+// remapInBuf rewrites every precise pointer slot of type t inside the
+// staged copy buf, translating old-version values. Slots past the staged
+// size (a shrunk counterpart) are left to the new version's own state.
+func (pt *procTransfer) remapInBuf(buf []byte, t *types.Type) {
+	if t == nil {
+		return
+	}
+	l := types.LayoutOf(t, pt.opts.Policy)
+	for _, slot := range l.Ptrs {
+		if slot.Func || slot.Offset+8 > uint64(len(buf)) {
+			continue
+		}
+		v := binary.LittleEndian.Uint64(buf[slot.Offset:])
+		if v == 0 {
+			continue
+		}
+		if nv, ok := pt.RemapPtr(v); ok && nv != v {
+			binary.LittleEndian.PutUint64(buf[slot.Offset:], nv)
+		}
+	}
 }
 
 // copyField applies one FieldCopy, handling integer resizing, pointer
@@ -521,15 +649,26 @@ func (pt *procTransfer) remapWord(addr mem.Addr) error {
 // TransferInstance transfers every old process into its new counterpart,
 // matched by creation key, running the per-process transfers in parallel
 // (§6: "fully parallelizing the state transfer operations in a
-// multiprocess context"). It returns aggregated statistics.
+// multiprocess context"). Each per-process transfer additionally uses
+// intra-process workers, so single-process programs with large heaps
+// scale too: an explicit opts.Parallelism applies per process, while the
+// default (0) splits the GOMAXPROCS budget across the concurrent
+// per-process transfers so a many-process instance does not oversubscribe
+// the CPU. It returns aggregated statistics.
 func TransferInstance(oldInst, newInst *program.Instance, analyses map[program.ProcKey]*Analysis, opts Options) (Stats, error) {
 	oldProcs := oldInst.Procs()
-	type result struct {
-		stats Stats
-		err   error
+	if opts.Parallelism == 0 && len(oldProcs) > 1 {
+		if w := runtime.GOMAXPROCS(0) / len(oldProcs); w > 0 {
+			opts.Parallelism = w
+		} else {
+			opts.Parallelism = 1
+		}
 	}
-	results := make([]result, len(oldProcs))
-	var wg sync.WaitGroup
+	// Resolve every pairing before spawning any transfer: a missing
+	// counterpart must not leave already-started transfers mutating the
+	// new instance behind the caller's back while it rolls back.
+	newProcs := make([]*program.Proc, len(oldProcs))
+	procAnalyses := make([]*Analysis, len(oldProcs))
 	for i, op := range oldProcs {
 		np, ok := newInst.ProcByKey(op.Key())
 		if !ok {
@@ -539,12 +678,21 @@ func TransferInstance(oldInst, newInst *program.Instance, analyses map[program.P
 		if an == nil {
 			return Stats{}, fmt.Errorf("trace: missing analysis for %s", op.Key())
 		}
+		newProcs[i], procAnalyses[i] = np, an
+	}
+	type result struct {
+		stats Stats
+		err   error
+	}
+	results := make([]result, len(oldProcs))
+	var wg sync.WaitGroup
+	for i, op := range oldProcs {
 		wg.Add(1)
-		go func(i int, op, np *program.Proc, an *Analysis) {
+		go func(i int, op *program.Proc) {
 			defer wg.Done()
-			s, err := TransferProc(op, np, an, opts)
+			s, err := TransferProc(op, newProcs[i], procAnalyses[i], opts)
 			results[i] = result{stats: s, err: err}
-		}(i, op, np, an)
+		}(i, op)
 	}
 	wg.Wait()
 	var total Stats
