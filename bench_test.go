@@ -516,7 +516,7 @@ func BenchmarkTransferParallelism(b *testing.B) {
 // BenchmarkMemoryFootprint reports instrumented-vs-baseline RSS (the
 // memory-usage experiment M1) as custom metrics.
 func BenchmarkMemoryFootprint(b *testing.B) {
-	res, err := experiments.RunMemory(experiments.Quick)
+	res, err := experiments.RunMemory(experiments.Config{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -528,6 +528,31 @@ func BenchmarkMemoryFootprint(b *testing.B) {
 			}
 			b.ReportMetric(row.Overhead(), "rss-ratio")
 			b.ReportMetric(float64(row.MetadataBytes), "metadata-bytes")
+		})
+	}
+}
+
+// BenchmarkCheckpointPrecopy reports the downtime-vs-dirty-ratio shape of
+// the incremental pre-copy checkpoint engine: bytes the downtime copy
+// reads from live memory with pre-copy vs the full-copy baseline, per
+// inter-epoch dirty ratio. The byte counts are deterministic (independent
+// of CPU count); baselines live in BENCH_checkpoint.json. The acceptance
+// bar: >= 60% reduction at <= 20% dirty.
+func BenchmarkCheckpointPrecopy(b *testing.B) {
+	res, err := experiments.RunCheckpoint(experiments.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		row := row
+		b.Run(fmt.Sprintf("dirty=%d%%", int(row.DirtyRatio*100)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// The measurement was taken once above; report it per run.
+			}
+			b.ReportMetric(float64(row.BaselineBytes), "baseline-bytes")
+			b.ReportMetric(float64(row.LiveBytes), "live-bytes")
+			b.ReportMetric(float64(row.ShadowBytes), "shadow-bytes")
+			b.ReportMetric(row.Reduction()*100, "reduction-pct")
 		})
 	}
 }

@@ -25,6 +25,7 @@ func main() {
 		spec        = flag.Bool("spec", false, "SPEC-like allocator overhead")
 		updateTime  = flag.Bool("updatetime", false, "update-time components")
 		dirty       = flag.Bool("dirtystats", false, "dirty-filter reduction")
+		ckpt        = flag.Bool("checkpoint", false, "pre-copy checkpoint: downtime vs dirty ratio")
 		all         = flag.Bool("all", false, "run every experiment")
 		full        = flag.Bool("full", false, "paper-scale parameters (slow)")
 		reps        = flag.Int("reps", 3, "repetitions for Table 3 (best-of)")
@@ -39,6 +40,7 @@ func main() {
 		Spec:        *spec,
 		UpdateTime:  *updateTime,
 		Dirty:       *dirty,
+		Checkpoint:  *ckpt,
 		All:         *all,
 		Full:        *full,
 		Reps:        *reps,

@@ -20,6 +20,7 @@ type config struct {
 	Spec        bool
 	UpdateTime  bool
 	Dirty       bool
+	Checkpoint  bool
 	All         bool
 	Full        bool
 	Reps        int
@@ -27,24 +28,25 @@ type config struct {
 }
 
 // run executes every selected experiment, writing rendered results to out.
-// Factored out of main so tests can drive it.
+// Factored out of main so tests can drive it; all configuration travels
+// through the experiments.Config value (no package-global state), so
+// concurrent run calls with different settings are safe.
 func run(cfg config, out io.Writer) error {
 	if cfg.Parallelism < 0 {
 		return fmt.Errorf("-parallelism must be >= 0, got %d", cfg.Parallelism)
 	}
-	if cfg.Parallelism != 0 {
-		experiments.SetTransferParallelism(cfg.Parallelism)
-		defer experiments.SetTransferParallelism(0)
+	ecfg := experiments.Config{
+		Scale:       experiments.Quick,
+		Parallelism: cfg.Parallelism,
 	}
-	scale := experiments.Quick
 	if cfg.Full {
-		scale = experiments.Full
+		ecfg.Scale = experiments.Full
 	}
 	ran := false
 
 	if cfg.All || cfg.Table == 1 {
 		ran = true
-		res, err := experiments.RunTable1(scale)
+		res, err := experiments.RunTable1(ecfg)
 		if err != nil {
 			return fmt.Errorf("table 1: %w", err)
 		}
@@ -52,7 +54,7 @@ func run(cfg config, out io.Writer) error {
 	}
 	if cfg.All || cfg.Table == 2 {
 		ran = true
-		res, err := experiments.RunTable2(scale)
+		res, err := experiments.RunTable2(ecfg)
 		if err != nil {
 			return fmt.Errorf("table 2: %w", err)
 		}
@@ -60,7 +62,7 @@ func run(cfg config, out io.Writer) error {
 	}
 	if cfg.All || cfg.Table == 3 {
 		ran = true
-		res, err := experiments.RunTable3(scale, cfg.Reps)
+		res, err := experiments.RunTable3(ecfg, cfg.Reps)
 		if err != nil {
 			return fmt.Errorf("table 3: %w", err)
 		}
@@ -68,7 +70,7 @@ func run(cfg config, out io.Writer) error {
 	}
 	if cfg.All || cfg.Figure3 {
 		ran = true
-		res, err := experiments.RunFigure3(scale)
+		res, err := experiments.RunFigure3(ecfg)
 		if err != nil {
 			return fmt.Errorf("figure 3: %w", err)
 		}
@@ -76,7 +78,7 @@ func run(cfg config, out io.Writer) error {
 	}
 	if cfg.All || cfg.Dirty {
 		ran = true
-		stats, err := experiments.RunDirtyStats(scale)
+		stats, err := experiments.RunDirtyStats(ecfg)
 		if err != nil {
 			return fmt.Errorf("dirty stats: %w", err)
 		}
@@ -87,9 +89,17 @@ func run(cfg config, out io.Writer) error {
 		}
 		fmt.Fprintln(out)
 	}
+	if cfg.All || cfg.Checkpoint {
+		ran = true
+		res, err := experiments.RunCheckpoint(ecfg)
+		if err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		fmt.Fprintln(out, res.Render())
+	}
 	if cfg.All || cfg.Memory {
 		ran = true
-		res, err := experiments.RunMemory(scale)
+		res, err := experiments.RunMemory(ecfg)
 		if err != nil {
 			return fmt.Errorf("memory: %w", err)
 		}
@@ -97,7 +107,7 @@ func run(cfg config, out io.Writer) error {
 	}
 	if cfg.All || cfg.Spec {
 		ran = true
-		res, err := experiments.RunSpec(scale)
+		res, err := experiments.RunSpec(ecfg)
 		if err != nil {
 			return fmt.Errorf("spec: %w", err)
 		}
@@ -105,7 +115,7 @@ func run(cfg config, out io.Writer) error {
 	}
 	if cfg.All || cfg.UpdateTime {
 		ran = true
-		res, err := experiments.RunUpdateTime(scale)
+		res, err := experiments.RunUpdateTime(ecfg)
 		if err != nil {
 			return fmt.Errorf("update time: %w", err)
 		}

@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	mcr-ctl -server nginx -updates 3 [-parallelism N]
+//	mcr-ctl -server nginx -updates 3 [-parallelism N] [-precopy [-epochs N]]
 package main
 
 import (
@@ -25,10 +25,13 @@ func main() {
 		server      = flag.String("server", "nginx", "server to run (httpd, nginx, vsftpd, sshd)")
 		updates     = flag.Int("updates", 2, "number of staged updates to deploy")
 		parallelism = flag.Int("parallelism", 0, "state-transfer workers per process (0 = all CPUs, 1 = sequential)")
+		precopy     = flag.Bool("precopy", false, "arm the incremental pre-copy checkpoint engine")
+		epochs      = flag.Int("epochs", 0, "pre-copy epoch bound (0 = default; requires -precopy)")
 	)
 	flag.Parse()
 
-	cfg := config{Server: *server, Updates: *updates, Parallelism: *parallelism}
+	cfg := config{Server: *server, Updates: *updates, Parallelism: *parallelism,
+		Precopy: *precopy, Epochs: *epochs}
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mcr-ctl:", err)
 		if errors.Is(err, errUsage) {

@@ -21,7 +21,9 @@ var errUsage = errors.New("usage error")
 type config struct {
 	Server      string
 	Updates     int
-	Parallelism int // state-transfer workers (0 = GOMAXPROCS, 1 = sequential)
+	Parallelism int  // state-transfer workers (0 = GOMAXPROCS, 1 = sequential)
+	Precopy     bool // arm the incremental pre-copy checkpoint engine
+	Epochs      int  // pre-copy epoch bound (0 = checkpoint default)
 }
 
 // run executes the whole scenario — launch, stage, update, verify the
@@ -30,6 +32,12 @@ type config struct {
 func run(cfg config, out io.Writer) error {
 	if cfg.Parallelism < 0 {
 		return fmt.Errorf("%w: -parallelism must be >= 0, got %d", errUsage, cfg.Parallelism)
+	}
+	if cfg.Epochs < 0 {
+		return fmt.Errorf("%w: -epochs must be >= 0, got %d", errUsage, cfg.Epochs)
+	}
+	if cfg.Epochs > 0 && !cfg.Precopy {
+		return fmt.Errorf("%w: -epochs requires -precopy", errUsage)
 	}
 	spec, err := servers.SpecByName(cfg.Server)
 	if err != nil {
@@ -45,7 +53,11 @@ func run(cfg config, out io.Writer) error {
 
 	k := kernel.New()
 	servers.SeedFiles(k)
-	engine := core.NewEngine(k, core.Options{Parallelism: cfg.Parallelism})
+	engine := core.NewEngine(k, core.Options{
+		Parallelism:   cfg.Parallelism,
+		Precopy:       cfg.Precopy,
+		PrecopyEpochs: cfg.Epochs,
+	})
 	if _, err := engine.Launch(spec.Version(0)); err != nil {
 		return fmt.Errorf("launch: %w", err)
 	}
@@ -91,6 +103,15 @@ func run(cfg config, out io.Writer) error {
 		}
 		if err := send("status"); err != nil {
 			return err
+		}
+		if cfg.Precopy {
+			if hist := engine.History(); len(hist) > 0 {
+				rep := hist[len(hist)-1]
+				fmt.Fprintf(out, "  precopy: %d epochs, %d objects shadowed; downtime copy: %d B from shadow, %d B live (%.0f%% off the critical path)\n",
+					rep.Precopy.Epochs, rep.Precopy.ObjectsCopied,
+					rep.Transfer.BytesFromShadow, rep.Transfer.BytesLive,
+					rep.Transfer.ShadowFraction()*100)
+			}
 		}
 		// Prove the pre-update session still answers.
 		var resp string

@@ -53,3 +53,28 @@ func TestRunClampsUpdatesToAvailableVersions(t *testing.T) {
 		t.Errorf("scenario did not complete:\n%s", out.String())
 	}
 }
+
+func TestRunEpochsWithoutPrecopyIsUsageError(t *testing.T) {
+	var out strings.Builder
+	err := run(config{Server: "nginx", Updates: 1, Epochs: 3}, &out)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("err = %v, want errUsage", err)
+	}
+}
+
+func TestRunPrecopyDeploysUpdateAndReportsShadowSplit(t *testing.T) {
+	var out strings.Builder
+	if err := run(config{Server: "nginx", Updates: 1, Precopy: true, Epochs: 4}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"precopy:",
+		"epochs",
+		"done: all updates deployed live",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

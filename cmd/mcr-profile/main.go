@@ -11,16 +11,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
-
-	"repro/internal/core"
-	"repro/internal/kernel"
-	"repro/internal/quiesce"
-	"repro/internal/servers"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -30,52 +25,12 @@ func main() {
 	)
 	flag.Parse()
 
-	spec, err := servers.SpecByName(*server)
-	if err != nil {
+	cfg := config{Server: *server, Pool: *pool, Settle: 100 * time.Millisecond}
+	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mcr-profile:", err)
-		os.Exit(2)
-	}
-	if spec.Name == "httpd" {
-		servers.SetHttpdPoolThreads(*pool)
-	}
-
-	prof := quiesce.NewProfiler()
-	prof.Start()
-	k := kernel.New()
-	servers.SeedFiles(k)
-	engine := core.NewEngine(k, core.Options{Profiler: prof})
-	if _, err := engine.Launch(spec.Version(0)); err != nil {
-		fmt.Fprintln(os.Stderr, "mcr-profile: launch:", err)
-		os.Exit(1)
-	}
-	defer engine.Shutdown()
-
-	fmt.Printf("profiling %s-%s under its test workload...\n", spec.Name, spec.Version(0).Release)
-	sessions, err := workload.ProfileWorkload(k, spec.Name, spec.Port)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mcr-profile: workload:", err)
-		os.Exit(1)
-	}
-	defer workload.CloseSessions(sessions)
-	time.Sleep(100 * time.Millisecond)
-
-	rep := prof.Report()
-	fmt.Printf("\n%-18s %-11s %-28s %-26s %s\n", "class", "lifetime", "long-lived loop", "quiescent point", "kind")
-	for _, c := range rep.Classes {
-		lifetime := "short-lived"
-		kind, loop, qp := "-", "-", "-"
-		if c.LongLived {
-			lifetime = "long-lived"
-			loop, qp = c.Loop, c.QuiescentPoint
-			if c.Persistent {
-				kind = "persistent"
-			} else {
-				kind = "volatile"
-			}
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
 		}
-		fmt.Printf("%-18s %-11s %-28s %-26s %s\n", c.Name, lifetime, loop, qp, kind)
+		os.Exit(1)
 	}
-	fmt.Printf("\nsummary: SL=%d LL=%d QP=%d Per=%d Vol=%d (paper: SL=%d LL=%d QP=%d Per=%d Vol=%d)\n",
-		rep.ShortLived(), rep.LongLived(), rep.QuiescentPoints(), rep.Persistent(), rep.Volatile(),
-		spec.Paper.SL, spec.Paper.LL, spec.Paper.QP, spec.Paper.Per, spec.Paper.Vol)
 }

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/quiesce"
+	"repro/internal/servers"
+	"repro/internal/workload"
+)
+
+// errUsage marks operator errors (bad flags, unknown server) that should
+// exit with the usage status instead of the failure status.
+var errUsage = errors.New("usage error")
+
+// config is the parsed command line.
+type config struct {
+	Server string
+	Pool   int // httpd pool threads per worker
+	Settle time.Duration
+}
+
+// run profiles one server under its test workload and writes the
+// per-thread-class report to out. Factored out of main so tests can drive
+// it end to end.
+func run(cfg config, out io.Writer) error {
+	if cfg.Pool < 1 {
+		return fmt.Errorf("%w: -pool must be >= 1, got %d", errUsage, cfg.Pool)
+	}
+	spec, err := servers.SpecByName(cfg.Server)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if spec.Name == "httpd" {
+		old := servers.SetHttpdPoolThreads(cfg.Pool)
+		defer servers.SetHttpdPoolThreads(old)
+	}
+
+	prof := quiesce.NewProfiler()
+	prof.Start()
+	k := kernel.New()
+	servers.SeedFiles(k)
+	engine := core.NewEngine(k, core.Options{Profiler: prof})
+	if _, err := engine.Launch(spec.Version(0)); err != nil {
+		return fmt.Errorf("launch: %w", err)
+	}
+	defer engine.Shutdown()
+
+	fmt.Fprintf(out, "profiling %s-%s under its test workload...\n", spec.Name, spec.Version(0).Release)
+	sessions, err := workload.ProfileWorkload(k, spec.Name, spec.Port)
+	if err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	defer workload.CloseSessions(sessions)
+	time.Sleep(cfg.Settle) // accumulate quiescent-point residency
+
+	rep := prof.Report()
+	fmt.Fprintf(out, "\n%-18s %-11s %-28s %-26s %s\n", "class", "lifetime", "long-lived loop", "quiescent point", "kind")
+	for _, c := range rep.Classes {
+		lifetime := "short-lived"
+		kind, loop, qp := "-", "-", "-"
+		if c.LongLived {
+			lifetime = "long-lived"
+			loop, qp = c.Loop, c.QuiescentPoint
+			if c.Persistent {
+				kind = "persistent"
+			} else {
+				kind = "volatile"
+			}
+		}
+		fmt.Fprintf(out, "%-18s %-11s %-28s %-26s %s\n", c.Name, lifetime, loop, qp, kind)
+	}
+	fmt.Fprintf(out, "\nsummary: SL=%d LL=%d QP=%d Per=%d Vol=%d (paper: SL=%d LL=%d QP=%d Per=%d Vol=%d)\n",
+		rep.ShortLived(), rep.LongLived(), rep.QuiescentPoints(), rep.Persistent(), rep.Volatile(),
+		spec.Paper.SL, spec.Paper.LL, spec.Paper.QP, spec.Paper.Per, spec.Paper.Vol)
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunUnknownServerIsUsageError(t *testing.T) {
+	var out strings.Builder
+	err := run(config{Server: "no-such-server", Pool: 8}, &out)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("err = %v, want errUsage", err)
+	}
+}
+
+func TestRunBadPoolIsUsageError(t *testing.T) {
+	var out strings.Builder
+	err := run(config{Server: "httpd", Pool: 0}, &out)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("err = %v, want errUsage", err)
+	}
+}
+
+func TestRunProfilesNginx(t *testing.T) {
+	var out strings.Builder
+	if err := run(config{Server: "nginx", Pool: 8, Settle: 30 * time.Millisecond}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"profiling nginx-",
+		"long-lived loop",
+		"persistent",
+		"summary: SL=",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunProfilesHttpdWithPool(t *testing.T) {
+	var out strings.Builder
+	if err := run(config{Server: "httpd", Pool: 4, Settle: 30 * time.Millisecond}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "summary:") {
+		t.Errorf("no summary:\n%s", out.String())
+	}
+}

@@ -1,0 +1,311 @@
+// Package checkpoint implements MCR's incremental pre-copy checkpoint
+// engine: the new layer between the memory substrate (internal/mem) and
+// the transfer engine (internal/trace) that takes state transfer off the
+// downtime-critical path.
+//
+// While the old version keeps serving traffic, a snapshotter repeatedly
+// runs pre-copy epochs, live-migration style: each epoch atomically
+// reads-and-clears the soft-dirty page bits of every process, maps the
+// dirty pages back to the objects overlapping them (mem.ObjectIndex's
+// page buckets), and copies those objects into per-process shadow buffers
+// keyed by object identity. The epoch loop converges when the dirty rate
+// stabilizes (the writable working set has been reached — further epochs
+// cannot shrink it) or a bounded epoch count is hit.
+//
+// At quiescence, the transfer phase consults the checkpoint through two
+// queries: EverDirtyPages (the pages whose bits epochs consumed, so the
+// dirty-object set stays identical to a no-checkpoint run) and Shadow
+// (the pre-copied bytes of one object). An object whose pages carry no
+// soft-dirty bit at transfer time was not written after the epoch that
+// captured its shadow — the shadow is bit-identical to live memory and
+// the downtime copy can skip the locked read of the live address space.
+// Downtime therefore scales with the dirty working set, not the heap.
+//
+// Consumed-bit accounting lives in the address space itself (a per-page
+// "consumed" mark set by ReadAndClearSoftDirty): a fork clones it
+// together with the data and the soft-dirty bits, so a child created in
+// the middle of a pre-copy run stays exactly accountable with no extra
+// bookkeeping here. Epochs are speculative: Discard hands every consumed
+// bit back (rollback must leave a later, checkpoint-free update attempt
+// with the full dirty-since-startup set).
+package checkpoint
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// Options configures a Snapshotter.
+type Options struct {
+	// MaxEpochs bounds the pre-copy epoch loop (default 8). Pre-copy must
+	// terminate even when the write rate never stabilizes.
+	MaxEpochs int
+	// StableRatio declares convergence when an epoch dirties at least
+	// this fraction of the previous epoch's page count (default 0.9):
+	// the dirty set has stopped shrinking, so further epochs only burn
+	// bandwidth — quiesce now.
+	StableRatio float64
+	// Interval pauses between epochs so the running version's writes can
+	// accumulate (default 0: back-to-back epochs).
+	Interval time.Duration
+}
+
+func (o *Options) fill() {
+	if o.MaxEpochs <= 0 {
+		o.MaxEpochs = 8
+	}
+	if o.StableRatio <= 0 {
+		o.StableRatio = 0.9
+	}
+}
+
+// EpochStats describes one pre-copy epoch.
+type EpochStats struct {
+	Epoch         int
+	DirtyPages    int
+	ObjectsCopied int
+	BytesCopied   uint64
+}
+
+// Stats summarizes a snapshotter run.
+type Stats struct {
+	Epochs        int
+	Converged     bool // dirty rate stabilized or drained (vs epoch bound hit)
+	PagesCopied   int  // dirty pages consumed across all epochs
+	ObjectsCopied int  // shadow captures (re-captures included)
+	BytesCopied   uint64
+	PerEpoch      []EpochStats
+}
+
+// Snapshotter is the epoch-based background pre-copier for one running
+// (old-version) instance.
+type Snapshotter struct {
+	inst *program.Instance
+	opts Options
+
+	mu        sync.Mutex
+	procs     map[program.ProcKey]*ProcShadow
+	stats     Stats
+	discarded bool
+}
+
+// New builds a snapshotter over the running instance. Epochs start when
+// Run (or Epoch) is called; the instance keeps serving throughout.
+func New(inst *program.Instance, opts Options) *Snapshotter {
+	opts.fill()
+	return &Snapshotter{
+		inst:  inst,
+		opts:  opts,
+		procs: make(map[program.ProcKey]*ProcShadow),
+	}
+}
+
+// Run executes pre-copy epochs until convergence or the epoch bound and
+// returns the final statistics. Safe to call while the instance's threads
+// run: bit reads/clears and object copies synchronize through each
+// address space's lock.
+func (s *Snapshotter) Run() Stats {
+	prev := -1
+	for i := 0; i < s.opts.MaxEpochs; i++ {
+		es := s.Epoch()
+		if es.DirtyPages == 0 {
+			s.setConverged()
+			break
+		}
+		if prev >= 0 && float64(es.DirtyPages) >= s.opts.StableRatio*float64(prev) {
+			// Dirty rate stabilized: this is the writable working set.
+			s.setConverged()
+			break
+		}
+		prev = es.DirtyPages
+		if s.opts.Interval > 0 && i+1 < s.opts.MaxEpochs {
+			time.Sleep(s.opts.Interval)
+		}
+	}
+	return s.Stats()
+}
+
+// Epoch runs one pre-copy epoch over every live process: read-and-clear
+// its soft-dirty bits, then shadow the objects overlapping the dirty
+// pages.
+func (s *Snapshotter) Epoch() EpochStats {
+	es := EpochStats{}
+	for _, p := range s.inst.Procs() {
+		pages := p.Space().ReadAndClearSoftDirty()
+		if len(pages) == 0 {
+			continue
+		}
+		ps := s.shadowOf(p)
+		if ps == nil {
+			// Discarded concurrently — after this epoch's read-and-clear,
+			// so Discard's own restore pass ran too early to see these
+			// bits. Hand them back here: anything Discard already
+			// restored is no longer marked consumed, so this only
+			// returns what this epoch just took.
+			p.Space().RestoreSoftDirty()
+			break
+		}
+		es.DirtyPages += len(pages)
+		for _, o := range p.Index().OnPages(pages) {
+			buf := make([]byte, o.Size)
+			if err := p.Space().ReadAt(o.Addr, buf); err != nil {
+				// Raced with an unmap: the object cannot be shadowed, and
+				// its pages stay consumed, so the transfer will take the
+				// live path for whatever lives there by then.
+				continue
+			}
+			ps.put(o, buf)
+			es.ObjectsCopied++
+			es.BytesCopied += o.Size
+		}
+	}
+	s.mu.Lock()
+	s.stats.Epochs++
+	es.Epoch = s.stats.Epochs
+	s.stats.PagesCopied += es.DirtyPages
+	s.stats.ObjectsCopied += es.ObjectsCopied
+	s.stats.BytesCopied += es.BytesCopied
+	s.stats.PerEpoch = append(s.stats.PerEpoch, es)
+	s.mu.Unlock()
+	return es
+}
+
+// Stats returns a snapshot of the accumulated statistics.
+func (s *Snapshotter) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.stats
+	out.PerEpoch = append([]EpochStats(nil), s.stats.PerEpoch...)
+	return out
+}
+
+func (s *Snapshotter) setConverged() {
+	s.mu.Lock()
+	s.stats.Converged = true
+	s.mu.Unlock()
+}
+
+// ProcShadow returns the checkpoint state of the process with the given
+// key, or nil if the instance has no such process (or the checkpoint was
+// discarded). A process the epochs never shadowed still answers: its
+// consumed-page set lives in its own address space (inherited through
+// fork), and its shadow table is simply empty, so every dirty object
+// takes the live path.
+func (s *Snapshotter) ProcShadow(key program.ProcKey) *ProcShadow {
+	p, ok := s.inst.ProcByKey(key)
+	if !ok {
+		return nil
+	}
+	return s.shadowOf(p)
+}
+
+// Shadows returns the resolver callers plug into trace.Options.Shadows.
+// It exists so every caller gets the typed-nil guard right: ProcShadow
+// returns a concrete *ProcShadow, and wrapping a nil one in the
+// ShadowReader interface directly would make an unknown process look like
+// it has a checkpoint.
+func (s *Snapshotter) Shadows() func(program.ProcKey) trace.ShadowReader {
+	return func(key program.ProcKey) trace.ShadowReader {
+		if ps := s.ProcShadow(key); ps != nil {
+			return ps
+		}
+		return nil
+	}
+}
+
+func (s *Snapshotter) shadowOf(p *program.Proc) *ProcShadow {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.discarded {
+		return nil
+	}
+	if ps, ok := s.procs[p.Key()]; ok {
+		return ps
+	}
+	ps := &ProcShadow{
+		space:   p.Space(),
+		shadows: make(map[*mem.Object][]byte),
+	}
+	s.procs[p.Key()] = ps
+	return ps
+}
+
+// Discard abandons the checkpoint: every consumed dirty bit is handed
+// back to its process's address space (so a subsequent checkpoint-free
+// transfer still sees the full dirty-since-startup set) and all shadow
+// buffers are released. Called on rollback, and after commit for cleanup
+// (restoring bits of a terminated instance is harmless).
+func (s *Snapshotter) Discard() {
+	s.mu.Lock()
+	if s.discarded {
+		s.mu.Unlock()
+		return
+	}
+	s.discarded = true
+	procs := s.procs
+	s.procs = make(map[program.ProcKey]*ProcShadow)
+	s.mu.Unlock()
+	for _, ps := range procs {
+		ps.drop()
+	}
+	// Restore via the live process list, not the shadow table: a child
+	// forked after the last epoch carries inherited consumed bits even
+	// though no ProcShadow was ever created for it.
+	for _, p := range s.inst.Procs() {
+		p.Space().RestoreSoftDirty()
+	}
+}
+
+// ProcShadow holds one process's checkpoint state: its address space
+// (which carries the consumed-page accounting) and the pre-copied
+// contents of the objects that sat on dirty pages, keyed by object
+// identity. It satisfies trace.ShadowReader.
+type ProcShadow struct {
+	space *mem.AddressSpace
+
+	mu      sync.RWMutex
+	shadows map[*mem.Object][]byte
+}
+
+func (ps *ProcShadow) put(o *mem.Object, buf []byte) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.shadows != nil {
+		ps.shadows[o] = buf
+	}
+}
+
+func (ps *ProcShadow) drop() {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.shadows = nil
+}
+
+// EverDirtyPages returns, in ascending order, every page whose soft-dirty
+// bit a pre-copy epoch read-and-cleared. The transfer unions these with
+// the pages still dirty at quiescence to recover the exact dirty set a
+// checkpoint-free run would have seen.
+func (ps *ProcShadow) EverDirtyPages() []mem.Addr {
+	return ps.space.ConsumedDirtyPages()
+}
+
+// Shadow returns the pre-copied contents of o from its latest capture.
+// The caller must verify currency (no soft-dirty bit on any of o's pages)
+// before serving it in place of live memory.
+func (ps *ProcShadow) Shadow(o *mem.Object) ([]byte, bool) {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	buf, ok := ps.shadows[o]
+	return buf, ok
+}
+
+// ShadowObjects returns the number of live shadow captures.
+func (ps *ProcShadow) ShadowObjects() int {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	return len(ps.shadows)
+}

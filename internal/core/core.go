@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/kernel"
 	"repro/internal/program"
 	"repro/internal/quiesce"
@@ -54,6 +55,17 @@ type Options struct {
 	// Parallelism is the per-process state-transfer worker count
 	// (0 = GOMAXPROCS, 1 = sequential); see trace.Options.Parallelism.
 	Parallelism int
+	// Precopy arms the incremental pre-copy checkpoint engine: before
+	// the CHECKPOINT quiesce, a snapshotter runs bounded pre-copy epochs
+	// over the still-serving old version, shadowing dirty objects so the
+	// downtime copy only reads the dirty working set from live memory.
+	// Results are bit-identical with or without pre-copy.
+	Precopy bool
+	// PrecopyEpochs bounds the pre-copy epoch loop (0 = checkpoint
+	// default). Only meaningful with Precopy.
+	PrecopyEpochs int
+	// PrecopyInterval pauses between pre-copy epochs (0 = back-to-back).
+	PrecopyInterval time.Duration
 	// PolicySet marks Policy as explicitly provided (a zero Policy is the
 	// fully-precise ablation).
 	PolicySet bool
@@ -77,6 +89,7 @@ func (o *Options) fill() {
 // UpdateReport is the timing and outcome breakdown of one live update —
 // the three update-time components §8 evaluates, plus transfer statistics.
 type UpdateReport struct {
+	PrecopyTime          time.Duration // pre-copy epochs (old version still serving)
 	QuiesceTime          time.Duration // checkpoint: barrier convergence
 	ControlMigrationTime time.Duration // restart: v2 startup under replay
 	StateTransferTime    time.Duration // remap: mutable tracing
@@ -84,6 +97,7 @@ type UpdateReport struct {
 
 	Replayed, LiveExecuted, Conflicted int
 	Transfer                           trace.Stats
+	Precopy                            checkpoint.Stats
 	FDsCollected                       int
 
 	RolledBack bool
@@ -179,7 +193,26 @@ func (e *Engine) Update(v2 *program.Version) (*UpdateReport, error) {
 		e.mu.Unlock()
 	}()
 
-	// --- CHECKPOINT: quiesce the running version -----------------------
+	// --- CHECKPOINT: pre-copy epochs, then quiesce ---------------------
+	// The snapshotter runs while the old version is still serving: each
+	// epoch consumes the soft-dirty bits and shadows the objects on the
+	// dirty pages, so the downtime copy below only reads the residual
+	// dirty working set from live memory. Epochs are speculative; the
+	// deferred Discard hands the consumed bits back on any outcome
+	// (rollback needs them for the next attempt; after commit the old
+	// instance is gone and re-marking is harmless).
+	var snap *checkpoint.Snapshotter
+	if e.opts.Precopy {
+		pcStart := time.Now()
+		snap = checkpoint.New(old, checkpoint.Options{
+			MaxEpochs: e.opts.PrecopyEpochs,
+			Interval:  e.opts.PrecopyInterval,
+		})
+		rep.Precopy = snap.Run()
+		rep.PrecopyTime = time.Since(pcStart)
+		defer snap.Discard()
+	}
+
 	qd, err := old.Quiesce(e.opts.QuiesceTimeout)
 	if err != nil {
 		old.Resume()
@@ -259,12 +292,16 @@ func (e *Engine) Update(v2 *program.Version) (*UpdateReport, error) {
 
 	// --- REMAP: mutable tracing state transfer -------------------------
 	stStart := time.Now()
-	stats, err := trace.TransferInstance(old, newInst, analyses, trace.Options{
+	topts := trace.Options{
 		Policy:             e.opts.Policy,
 		TransferLibs:       e.opts.TransferLibs,
 		DisableDirtyFilter: e.opts.DisableDirtyFilter,
 		Parallelism:        e.opts.Parallelism,
-	})
+	}
+	if snap != nil {
+		topts.Shadows = snap.Shadows()
+	}
+	stats, err := trace.TransferInstance(old, newInst, analyses, topts)
 	rep.Transfer = stats
 	if err != nil {
 		return rep, e.rollback(old, newInst, rep, err)

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestPrecopyUpdateEndToEnd runs a live update with the pre-copy
+// checkpoint engine armed: epochs must run before downtime, a share of
+// the copied bytes must come from shadows, and the carried session state
+// must be exactly what a plain update would carry.
+func TestPrecopyUpdateEndToEnd(t *testing.T) {
+	e, k := launchEchod(t, Options{Precopy: true})
+	defer e.Shutdown()
+
+	c1, err := k.Connect(7000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sendRecv(t, c1, "hello"); got != "v1:hello:1" {
+		t.Fatalf("pre-update reply = %q", got)
+	}
+	if got := sendRecv(t, c1, "again"); got != "v1:again:2" {
+		t.Fatalf("pre-update reply = %q", got)
+	}
+
+	rep, err := e.Update(echodVersion("2.0", 1, "v2", true, 7000))
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if rep.RolledBack {
+		t.Fatalf("update rolled back: %v", rep.Reason)
+	}
+	if rep.Precopy.Epochs == 0 || rep.PrecopyTime <= 0 {
+		t.Errorf("pre-copy did not run: %+v", rep.Precopy)
+	}
+	if rep.Precopy.BytesCopied == 0 {
+		t.Errorf("pre-copy shadowed nothing: %+v", rep.Precopy)
+	}
+	if rep.Transfer.BytesFromShadow == 0 {
+		t.Errorf("downtime copy served nothing from shadows: %+v", rep.Transfer)
+	}
+	// The session survived with its counter intact — the transferred
+	// state is the same state a plain update carries.
+	if got := sendRecv(t, c1, "post"); got != "v2:post:3" {
+		t.Errorf("post-update reply = %q, want v2:post:3", got)
+	}
+}
+
+// TestPrecopyMatchesPlainUpdate drives two identical engines — pre-copy
+// on and off — through the same traffic and update, and requires the same
+// transfer scope and the same surviving client state.
+func TestPrecopyMatchesPlainUpdate(t *testing.T) {
+	type outcome struct {
+		objects, skipped int
+		bytes            uint64
+		reply            string
+	}
+	run := func(precopy bool) outcome {
+		t.Helper()
+		e, k := launchEchod(t, Options{Precopy: precopy})
+		defer e.Shutdown()
+		cc, err := k.Connect(7000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sendRecv(t, cc, "a")
+		sendRecv(t, cc, "b")
+		rep, err := e.Update(echodVersion("2.0", 1, "v2", true, 7000))
+		if err != nil {
+			t.Fatalf("Update(precopy=%v): %v", precopy, err)
+		}
+		return outcome{
+			objects: rep.Transfer.ObjectsTransferred,
+			skipped: rep.Transfer.ObjectsSkippedClean,
+			bytes:   rep.Transfer.BytesTransferred,
+			reply:   sendRecv(t, cc, "c"),
+		}
+	}
+	plain := run(false)
+	pre := run(true)
+	if plain != pre {
+		t.Errorf("pre-copy changed the update outcome:\nplain %+v\npre   %+v", plain, pre)
+	}
+	if pre.reply != "v2:c:3" {
+		t.Errorf("post-update reply = %q, want v2:c:3", pre.reply)
+	}
+}
+
+// TestPrecopyRollbackRestoresDirtyState: a failing update discards the
+// checkpoint, which must hand the consumed soft-dirty bits back — the
+// follow-up update still has to see (and carry) the full dirty session
+// state.
+func TestPrecopyRollbackRestoresDirtyState(t *testing.T) {
+	e, k := launchEchod(t, Options{Precopy: true})
+	defer e.Shutdown()
+	cc, _ := k.Connect(7000)
+	if got := sendRecv(t, cc, "a"); got != "v1:a:1" {
+		t.Fatal(got)
+	}
+
+	// Wrong port: replay conflict after the pre-copy epochs already
+	// consumed the dirty bits -> rollback must restore them.
+	rep, err := e.Update(echodVersion("2.0", 1, "v2", true, 7001))
+	if !errors.Is(err, ErrUpdateFailed) {
+		t.Fatalf("err = %v, want ErrUpdateFailed", err)
+	}
+	if !rep.RolledBack || rep.Precopy.Epochs == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if got := sendRecv(t, cc, "b"); got != "v1:b:2" {
+		t.Errorf("post-rollback reply = %q", got)
+	}
+
+	// The follow-up update succeeds and carries the session counter —
+	// proof the discarded checkpoint handed every dirty bit back.
+	rep2, err := e.Update(echodVersion("2.1", 1, "v2", true, 7000))
+	if err != nil {
+		t.Fatalf("follow-up update: %v", err)
+	}
+	if rep2.Transfer.ObjectsTransferred == 0 {
+		t.Error("follow-up transfer carried nothing")
+	}
+	if got := sendRecv(t, cc, "c"); got != "v2:c:3" {
+		t.Errorf("post-update reply = %q, want v2:c:3", got)
+	}
+}
+
+// TestPrecopyEpochBound pins the PrecopyEpochs option: the epoch loop
+// never exceeds the configured bound.
+func TestPrecopyEpochBound(t *testing.T) {
+	e, k := launchEchod(t, Options{Precopy: true, PrecopyEpochs: 1,
+		PrecopyInterval: time.Millisecond})
+	defer e.Shutdown()
+	cc, _ := k.Connect(7000)
+	sendRecv(t, cc, "a")
+	rep, err := e.Update(echodVersion("2.0", 1, "v2", true, 7000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Precopy.Epochs != 1 {
+		t.Errorf("epochs = %d, want 1 (bounded)", rep.Precopy.Epochs)
+	}
+}

@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/program"
+	"repro/internal/trace"
+	"repro/internal/types"
+)
+
+// CheckpointRow is one measured point of the downtime-vs-dirty-ratio
+// experiment: how many bytes the downtime copy reads from live memory
+// with the pre-copy checkpoint armed, against the full-copy baseline, at
+// a given inter-epoch dirty ratio.
+type CheckpointRow struct {
+	DirtyRatio    float64
+	Epochs        int
+	BaselineBytes uint64 // downtime copy bytes without pre-copy
+	LiveBytes     uint64 // downtime copy bytes with pre-copy (live reads)
+	ShadowBytes   uint64 // served from shadows captured before downtime
+}
+
+// Reduction returns the fraction of downtime copy bytes the checkpoint
+// eliminated.
+func (r CheckpointRow) Reduction() float64 {
+	if r.BaselineBytes == 0 {
+		return 0
+	}
+	return 1 - float64(r.LiveBytes)/float64(r.BaselineBytes)
+}
+
+// CheckpointResult is the regenerated downtime-vs-dirty-ratio table.
+type CheckpointResult struct {
+	Objects   int
+	HeapBytes uint64
+	Rows      []CheckpointRow
+}
+
+func (s Scale) checkpointBlobs() int {
+	if s == Full {
+		return 16384
+	}
+	return 1024
+}
+
+const checkpointBlobSize = 256
+
+// precopyVersion builds a version whose startup allocates `blobs` opaque
+// 256-byte buffers linked into a chain by a hidden pointer at word 0
+// (payload in the remaining words), rooted in the "anchor" global.
+// Versions are layout-identical across seq, so the transfer takes the
+// verbatim-copy fast path for every object and the live-vs-shadow byte
+// split is exact.
+func precopyVersion(seq, blobs int) *program.Version {
+	return &program.Version{
+		Program:     "precopyheap",
+		Release:     fmt.Sprintf("v%d", seq+1),
+		Seq:         seq,
+		Types:       types.NewRegistry(),
+		Globals:     []program.GlobalSpec{{Name: "anchor", Size: 64}},
+		Annotations: program.NewAnnotations(),
+		Main: func(t *program.Thread) error {
+			t.Enter("main")
+			defer t.Exit()
+			if err := t.Call("precopy_init", func() error {
+				p := t.Proc()
+				fill := bytes.Repeat([]byte{0xA5}, checkpointBlobSize)
+				var first, last *mem.Object
+				for i := 0; i < blobs; i++ {
+					b, err := t.MallocBytes(checkpointBlobSize)
+					if err != nil {
+						return err
+					}
+					if err := p.WriteBytes(b, 0, fill); err != nil {
+						return err
+					}
+					if last != nil {
+						if err := p.WriteWordAt(last, 0, uint64(b.Addr)); err != nil {
+							return err
+						}
+					} else {
+						first = b
+					}
+					last = b
+				}
+				return p.WriteWordAt(p.MustGlobal("anchor"), 0, uint64(first.Addr))
+			}); err != nil {
+				return err
+			}
+			return t.Loop("precopy_loop", func() error {
+				if err := t.IdleQP("idle@precopy_loop"); err != nil {
+					if errors.Is(err, program.ErrStopped) {
+						return program.ErrLoopExit
+					}
+					return err
+				}
+				return nil
+			})
+		},
+	}
+}
+
+func startPrecopyInstance(seq, blobs int, plan map[mem.PlanKey]mem.Addr,
+	reserve []*mem.Object, pinned map[string]uint64) (*program.Instance, error) {
+	inst, err := program.NewInstance(precopyVersion(seq, blobs), kernel.New(),
+		program.Options{PinnedStatics: pinned})
+	if err != nil {
+		return nil, err
+	}
+	if plan != nil {
+		inst.Root().Heap().SetPlacementPlan(plan)
+	}
+	for _, o := range reserve {
+		if _, err := inst.Root().Heap().AllocAt(o.Addr, o.Size, nil, o.Site); err != nil {
+			return nil, fmt.Errorf("pre-reserve %s: %v", o, err)
+		}
+	}
+	if err := inst.Start(); err != nil {
+		return nil, err
+	}
+	if err := inst.WaitStartup(30 * time.Second); err != nil {
+		return nil, err
+	}
+	inst.CompleteStartup()
+	return inst, nil
+}
+
+// dirtyPrefix rewrites the payload (everything past the link word) of the
+// first frac fraction of heap objects — a contiguous address prefix, so
+// the residual dirty set is page-sparse the way a real working set is.
+// Every payload byte keeps its top bit set so the conservative scan never
+// mistakes payload for a pointer.
+func dirtyPrefix(p *program.Proc, frac float64, step int) error {
+	var objs []*mem.Object
+	for _, o := range p.Index().All() {
+		if o.Kind == mem.ObjHeap {
+			objs = append(objs, o)
+		}
+	}
+	n := int(frac * float64(len(objs)))
+	var buf [checkpointBlobSize - 8]byte
+	for i := 0; i < n; i++ {
+		o := objs[i]
+		if o.Size <= 16 {
+			continue
+		}
+		payload := buf[:o.Size-8] // stay inside the object: word 0 is the link
+		for j := range payload {
+			payload[j] = 0x80 | byte((step*31+i*7+j)&0x7f)
+		}
+		if err := p.Space().WriteAt(o.Addr+8, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkpointPoint measures one dirty ratio: the whole heap is dirtied
+// post-startup (the full-transfer baseline), pre-copy epochs shadow it,
+// and between epochs (and after the last one) the workload re-dirties the
+// leading `ratio` fraction of the heap. The pre-copy transfer's live
+// bytes are compared with a discard-then-transfer baseline over the very
+// same memory state — which also checks that Discard hands the dirty bits
+// back and that both transfers move identical byte counts.
+func checkpointPoint(cfg Config, blobs int, ratio float64) (CheckpointRow, error) {
+	v1, err := startPrecopyInstance(0, blobs, nil, nil, nil)
+	if err != nil {
+		return CheckpointRow{}, err
+	}
+	defer v1.Terminate()
+	root := v1.Root()
+
+	snap := checkpoint.New(v1, checkpoint.Options{})
+	if err := dirtyPrefix(root, 1.0, 0); err != nil { // all state written since startup
+		return CheckpointRow{}, err
+	}
+	snap.Epoch()
+	if err := dirtyPrefix(root, ratio, 1); err != nil { // working set between epochs
+		return CheckpointRow{}, err
+	}
+	snap.Epoch()
+	if err := dirtyPrefix(root, ratio, 2); err != nil { // residual writes before quiesce
+		return CheckpointRow{}, err
+	}
+
+	transfer := func(withShadows bool) (trace.Stats, error) {
+		analyses, err := trace.AnalyzeInstance(v1, types.DefaultPolicy(), nil)
+		if err != nil {
+			return trace.Stats{}, err
+		}
+		plan, reserve, pinned := trace.CombinedPlacement(analyses)
+		v2, err := startPrecopyInstance(1, blobs, plan, reserve, pinned)
+		if err != nil {
+			return trace.Stats{}, err
+		}
+		defer v2.Terminate()
+		opts := trace.Options{Policy: types.DefaultPolicy(), Parallelism: cfg.Parallelism}
+		if withShadows {
+			opts.Shadows = snap.Shadows()
+		}
+		return trace.TransferInstance(v1, v2, analyses, opts)
+	}
+
+	pre, err := transfer(true)
+	if err != nil {
+		return CheckpointRow{}, err
+	}
+	snap.Discard()
+	base, err := transfer(false)
+	if err != nil {
+		return CheckpointRow{}, err
+	}
+	if base.BytesTransferred != pre.BytesTransferred ||
+		base.ObjectsTransferred != pre.ObjectsTransferred {
+		return CheckpointRow{}, fmt.Errorf(
+			"experiments: pre-copy changed the transfer scope: %d/%d bytes, %d/%d objects",
+			pre.BytesTransferred, base.BytesTransferred,
+			pre.ObjectsTransferred, base.ObjectsTransferred)
+	}
+	return CheckpointRow{
+		DirtyRatio:    ratio,
+		Epochs:        snap.Stats().Epochs,
+		BaselineBytes: base.BytesLive,
+		LiveBytes:     pre.BytesLive,
+		ShadowBytes:   pre.BytesFromShadow,
+	}, nil
+}
+
+// RunCheckpoint regenerates the downtime-vs-dirty-ratio table: the bytes
+// the downtime copy reads from live memory with the pre-copy checkpoint
+// engine, across workloads that keep re-dirtying a growing fraction of
+// the heap between epochs. The ROADMAP target: with <= 20% of the heap
+// dirty between epochs, downtime copy bytes drop by >= 60%.
+func RunCheckpoint(cfg Config) (*CheckpointResult, error) {
+	blobs := cfg.Scale.checkpointBlobs()
+	res := &CheckpointResult{
+		Objects:   blobs,
+		HeapBytes: uint64(blobs) * checkpointBlobSize,
+	}
+	for _, ratio := range []float64{0, 0.05, 0.10, 0.20, 0.50} {
+		row, err := checkpointPoint(cfg, blobs, ratio)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint@%.0f%%: %w", ratio*100, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the downtime-vs-dirty-ratio table.
+func (r *CheckpointResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pre-copy checkpoint: downtime copy bytes vs dirty ratio (%d objects, %d heap bytes)\n",
+		r.Objects, r.HeapBytes)
+	fmt.Fprintf(&b, "%-8s %8s %14s %14s %14s %12s\n",
+		"dirty", "epochs", "baseline-B", "live-B", "shadow-B", "reduction")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %8d %14d %14d %14d %11.0f%%\n",
+			fmt.Sprintf("%.0f%%", row.DirtyRatio*100), row.Epochs,
+			row.BaselineBytes, row.LiveBytes, row.ShadowBytes, row.Reduction()*100)
+	}
+	b.WriteString("target: >= 60% downtime-copy reduction at <= 20% dirty (O(heap) -> O(working set))\n")
+	return b.String()
+}

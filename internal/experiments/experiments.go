@@ -14,7 +14,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -78,21 +77,37 @@ func (s Scale) connPoints() []int {
 	return []int{0, 5, 10}
 }
 
-// transferParallelism is the state-transfer worker count applied to every
-// experiment engine (0 = trace-layer default); mcr-bench's -parallelism
-// flag sets it. Atomic because experiments may launch servers from
-// goroutines concurrent with a caller adjusting the setting.
-var transferParallelism atomic.Int64
+// Config parameterizes one experiment run. It is passed through the
+// Run* API surface instead of living in package-global state, so
+// concurrent runs with different settings cannot interfere and
+// cmd/mcr-bench's run() is reentrant. The zero value is the quick-scale
+// default configuration.
+type Config struct {
+	// Scale selects experiment sizing (Quick or Full).
+	Scale Scale
+	// Parallelism is the state-transfer worker count applied to every
+	// engine the experiments launch (0 = trace-layer default).
+	Parallelism int
+	// Precopy arms the incremental pre-copy checkpoint engine on every
+	// launched engine (see core.Options.Precopy).
+	Precopy bool
+	// PrecopyEpochs bounds pre-copy epochs (0 = checkpoint default).
+	PrecopyEpochs int
+}
 
-// SetTransferParallelism overrides the state-transfer worker count used by
-// all subsequently launched experiment engines.
-func SetTransferParallelism(n int) { transferParallelism.Store(int64(n)) }
+// options merges the run configuration into engine options.
+func (c Config) options(opts core.Options) core.Options {
+	if opts.Parallelism == 0 {
+		opts.Parallelism = c.Parallelism
+	}
+	opts.Precopy = c.Precopy
+	opts.PrecopyEpochs = c.PrecopyEpochs
+	return opts
+}
 
 // launchServer starts one server on a fresh kernel.
-func launchServer(spec *servers.Spec, opts core.Options) (*core.Engine, *kernel.Kernel, error) {
-	if opts.Parallelism == 0 {
-		opts.Parallelism = int(transferParallelism.Load())
-	}
+func launchServer(spec *servers.Spec, cfg Config, opts core.Options) (*core.Engine, *kernel.Kernel, error) {
+	opts = cfg.options(opts)
 	k := kernel.New()
 	servers.SeedFiles(k)
 	e := core.NewEngine(k, opts)
@@ -120,14 +135,14 @@ func runBenchWorkload(spec *servers.Spec, k *kernel.Kernel, scale Scale) (worklo
 
 // profileServer runs the quiescence profiler under the profiling workload
 // and returns the report.
-func profileServer(spec *servers.Spec, scale Scale) (quiesce.Report, error) {
+func profileServer(spec *servers.Spec, cfg Config) (quiesce.Report, error) {
 	if spec.Name == "httpd" {
-		old := servers.SetHttpdPoolThreads(scale.poolThreads())
+		old := servers.SetHttpdPoolThreads(cfg.Scale.poolThreads())
 		defer servers.SetHttpdPoolThreads(old)
 	}
 	prof := quiesce.NewProfiler()
 	prof.Start()
-	e, k, err := launchServer(spec, core.Options{Profiler: prof})
+	e, k, err := launchServer(spec, cfg, core.Options{Profiler: prof})
 	if err != nil {
 		return quiesce.Report{}, err
 	}

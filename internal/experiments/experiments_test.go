@@ -6,7 +6,7 @@ import (
 )
 
 func TestTable1MatchesPaperCensus(t *testing.T) {
-	res, err := RunTable1(Quick)
+	res, err := RunTable1(Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestTable1MatchesPaperCensus(t *testing.T) {
 }
 
 func TestTable2Shapes(t *testing.T) {
-	res, err := RunTable2(Quick)
+	res, err := RunTable2(Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestTable2Shapes(t *testing.T) {
 }
 
 func TestTable3Shapes(t *testing.T) {
-	res, err := RunTable3(Quick, 1)
+	res, err := RunTable3(Config{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestTable3Shapes(t *testing.T) {
 }
 
 func TestFigure3GrowsWithConnections(t *testing.T) {
-	res, err := RunFigure3(Quick)
+	res, err := RunFigure3(Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestFigure3GrowsWithConnections(t *testing.T) {
 }
 
 func TestDirtyStatsReduction(t *testing.T) {
-	stats, err := RunDirtyStats(Quick)
+	stats, err := RunDirtyStats(Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestDirtyStatsReduction(t *testing.T) {
 }
 
 func TestMemoryOverhead(t *testing.T) {
-	res, err := RunMemory(Quick)
+	res, err := RunMemory(Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestMemoryOverhead(t *testing.T) {
 }
 
 func TestSpecAllocatorOverhead(t *testing.T) {
-	res, err := RunSpec(Quick)
+	res, err := RunSpec(Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestSpecAllocatorOverhead(t *testing.T) {
 }
 
 func TestUpdateTimeComponents(t *testing.T) {
-	res, err := RunUpdateTime(Quick)
+	res, err := RunUpdateTime(Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,6 +200,37 @@ func TestUpdateTimeComponents(t *testing.T) {
 		}
 		if row.Total > 2*1e9 {
 			t.Errorf("%s: total update %v too slow", row.Name, row.Total)
+		}
+	}
+	_ = res.Render()
+}
+
+func TestCheckpointDowntimeReduction(t *testing.T) {
+	res, err := RunCheckpoint(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range res.Rows {
+		if row.Epochs == 0 {
+			t.Errorf("ratio %.2f: no epochs ran", row.DirtyRatio)
+		}
+		if row.LiveBytes+row.ShadowBytes != row.BaselineBytes {
+			t.Errorf("ratio %.2f: live+shadow (%d+%d) != baseline %d",
+				row.DirtyRatio, row.LiveBytes, row.ShadowBytes, row.BaselineBytes)
+		}
+		// The acceptance bar: at <= 20% dirty the downtime copy must
+		// shrink by >= 60%; the reduction decays as the ratio grows.
+		if row.DirtyRatio <= 0.20 && row.Reduction() < 0.60 {
+			t.Errorf("ratio %.2f: reduction %.0f%% below the 60%% bar",
+				row.DirtyRatio, row.Reduction()*100)
+		}
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].LiveBytes < res.Rows[i-1].LiveBytes {
+			t.Errorf("live bytes not monotone in dirty ratio: %+v", res.Rows)
 		}
 	}
 	_ = res.Render()

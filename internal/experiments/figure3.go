@@ -37,16 +37,16 @@ type Figure3Result struct {
 // RunFigure3 regenerates Figure 3: for every server and connection count,
 // open that many live sessions, perform one live update, and record the
 // state-transfer time (plus the other update-time components of §8).
-func RunFigure3(scale Scale) (*Figure3Result, error) {
+func RunFigure3(cfg Config) (*Figure3Result, error) {
 	res := &Figure3Result{}
 	for _, spec := range servers.Catalog() {
 		if spec.Name == "httpd" {
-			old := servers.SetHttpdPoolThreads(scale.poolThreads())
+			old := servers.SetHttpdPoolThreads(cfg.Scale.poolThreads())
 			defer servers.SetHttpdPoolThreads(old)
 		}
 		series := Figure3Series{Name: spec.Name}
-		for _, n := range scale.connPoints() {
-			pt, err := figure3Point(spec, n)
+		for _, n := range cfg.Scale.connPoints() {
+			pt, err := figure3Point(spec, cfg, n)
 			if err != nil {
 				return nil, fmt.Errorf("figure3 %s@%d conns: %w", spec.Name, n, err)
 			}
@@ -57,8 +57,8 @@ func RunFigure3(scale Scale) (*Figure3Result, error) {
 	return res, nil
 }
 
-func figure3Point(spec *servers.Spec, conns int) (Figure3Point, error) {
-	e, k, err := launchServer(spec, core.Options{
+func figure3Point(spec *servers.Spec, cfg Config, conns int) (Figure3Point, error) {
+	e, k, err := launchServer(spec, cfg, core.Options{
 		QuiesceTimeout: 30 * time.Second,
 		StartupTimeout: 30 * time.Second,
 	})
@@ -128,17 +128,17 @@ func (d DirtyStats) Reduction() float64 {
 }
 
 // RunDirtyStats measures the dirty-filter reduction per server.
-func RunDirtyStats(scale Scale) ([]DirtyStats, error) {
-	conns := scale.connPoints()[len(scale.connPoints())-1]
+func RunDirtyStats(cfg Config) ([]DirtyStats, error) {
+	conns := cfg.Scale.connPoints()[len(cfg.Scale.connPoints())-1]
 	var out []DirtyStats
 	for _, spec := range servers.Catalog() {
 		if spec.Name == "httpd" {
-			old := servers.SetHttpdPoolThreads(scale.poolThreads())
+			old := servers.SetHttpdPoolThreads(cfg.Scale.poolThreads())
 			defer servers.SetHttpdPoolThreads(old)
 		}
 		d := DirtyStats{Name: spec.Name, Connections: conns}
 		for _, disable := range []bool{false, true} {
-			e, k, err := launchServer(spec, core.Options{
+			e, k, err := launchServer(spec, cfg, core.Options{
 				DisableDirtyFilter: disable,
 				QuiesceTimeout:     30 * time.Second,
 				StartupTimeout:     30 * time.Second,

@@ -38,10 +38,10 @@ type Table1Result struct {
 // RunTable1 regenerates Table 1: per server, profile the quiescent points
 // under the test workload, walk the update stream counting type changes,
 // and account the annotation effort.
-func RunTable1(scale Scale) (*Table1Result, error) {
+func RunTable1(cfg Config) (*Table1Result, error) {
 	res := &Table1Result{}
 	for _, spec := range servers.Catalog() {
-		rep, err := profileServer(spec, scale)
+		rep, err := profileServer(spec, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("table1 %s: %w", spec.Name, err)
 		}
@@ -103,7 +103,7 @@ type Table2Result struct {
 // RunTable2 regenerates Table 2: run each server's benchmark, quiesce,
 // and aggregate the precise/likely pointer census across processes. The
 // nginxreg row repeats nginx with instrumented region allocators.
-func RunTable2(scale Scale) (*Table2Result, error) {
+func RunTable2(cfg Config) (*Table2Result, error) {
 	res := &Table2Result{}
 	configs := []struct {
 		name       string
@@ -116,12 +116,12 @@ func RunTable2(scale Scale) (*Table2Result, error) {
 		{"vsftpd", servers.VsftpdSpec(), false},
 		{"sshd", servers.SshdSpec(), false},
 	}
-	for _, cfg := range configs {
-		if cfg.spec.Name == "httpd" {
-			old := servers.SetHttpdPoolThreads(scale.poolThreads())
+	for _, tc := range configs {
+		if tc.spec.Name == "httpd" {
+			old := servers.SetHttpdPoolThreads(cfg.Scale.poolThreads())
 			defer servers.SetHttpdPoolThreads(old)
 		}
-		e, k, err := launchServer(cfg.spec, core.Options{RegionInstrumented: cfg.regionInst})
+		e, k, err := launchServer(tc.spec, cfg, core.Options{RegionInstrumented: tc.regionInst})
 		if err != nil {
 			return nil, err
 		}
@@ -130,18 +130,18 @@ func RunTable2(scale Scale) (*Table2Result, error) {
 		// image: request state of closed connections was already released
 		// by the servers (pool/region destruction), so the open sessions
 		// carry sustained traffic of their own.
-		sessions, err := openTableSessions(cfg.spec, k, 6)
+		sessions, err := openTableSessions(tc.spec, k, 6)
 		if err != nil {
 			e.Shutdown()
-			return nil, fmt.Errorf("table2 %s: %w", cfg.name, err)
+			return nil, fmt.Errorf("table2 %s: %w", tc.name, err)
 		}
-		if _, err := runBenchWorkload(cfg.spec, k, scale); err != nil {
+		if _, err := runBenchWorkload(tc.spec, k, cfg.Scale); err != nil {
 			e.Shutdown()
-			return nil, fmt.Errorf("table2 %s bench: %w", cfg.name, err)
+			return nil, fmt.Errorf("table2 %s bench: %w", tc.name, err)
 		}
-		if err := driveTableSessions(cfg.spec, sessions, scale); err != nil {
+		if err := driveTableSessions(tc.spec, sessions, cfg.Scale); err != nil {
 			e.Shutdown()
-			return nil, fmt.Errorf("table2 %s sessions: %w", cfg.name, err)
+			return nil, fmt.Errorf("table2 %s sessions: %w", tc.name, err)
 		}
 		inst := e.Current()
 		if _, err := inst.Quiesce(10 * time.Second); err != nil {
@@ -154,7 +154,7 @@ func RunTable2(scale Scale) (*Table2Result, error) {
 			return nil, err
 		}
 		inst.Resume()
-		row := Table2Row{Name: cfg.name, Stats: trace.AggregateStats(analyses)}
+		row := Table2Row{Name: tc.name, Stats: trace.AggregateStats(analyses)}
 		res.Rows = append(res.Rows, row)
 		closeSessions(sessions)
 		e.Shutdown()
@@ -206,7 +206,7 @@ var table3Paper = map[string][4]float64{
 
 // RunTable3 regenerates Table 3: per server, run the benchmark at every
 // instrumentation level and normalize against the uninstrumented baseline.
-func RunTable3(scale Scale, reps int) (*Table3Result, error) {
+func RunTable3(cfg Config, reps int) (*Table3Result, error) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -224,24 +224,24 @@ func RunTable3(scale Scale, reps int) (*Table3Result, error) {
 	}
 	levels := []program.Instr{program.InstrBaseline, program.InstrUnblock,
 		program.InstrStatic, program.InstrDynamic, program.InstrQDet}
-	for _, cfg := range configs {
-		if cfg.spec.Name == "httpd" {
-			old := servers.SetHttpdPoolThreads(scale.poolThreads())
+	for _, tc := range configs {
+		if tc.spec.Name == "httpd" {
+			old := servers.SetHttpdPoolThreads(cfg.Scale.poolThreads())
 			defer servers.SetHttpdPoolThreads(old)
 		}
-		row := Table3Row{Name: cfg.name, PaperRow: table3Paper[cfg.name]}
+		row := Table3Row{Name: tc.name, PaperRow: table3Paper[tc.name]}
 		var raw [5]time.Duration
 		for li, level := range levels {
 			var best time.Duration
 			for rep := 0; rep < reps; rep++ {
-				e, k, err := launchServer(cfg.spec, instrOptions(level, cfg.regionInst))
+				e, k, err := launchServer(tc.spec, cfg, instrOptions(level, tc.regionInst))
 				if err != nil {
 					return nil, err
 				}
-				bench, err := runBenchWorkload(cfg.spec, k, scale)
+				bench, err := runBenchWorkload(tc.spec, k, cfg.Scale)
 				e.Shutdown()
 				if err != nil {
-					return nil, fmt.Errorf("table3 %s@%v: %w", cfg.name, level, err)
+					return nil, fmt.Errorf("table3 %s@%v: %w", tc.name, level, err)
 				}
 				if best == 0 || bench.Elapsed < best {
 					best = bench.Elapsed

@@ -15,7 +15,7 @@ func (as *AddressSpace) Clone() *AddressSpace {
 	out.regions = make([]Region, len(as.regions))
 	copy(out.regions, as.regions)
 	for pb, p := range as.pages {
-		np := &page{softDirty: p.softDirty}
+		np := &page{softDirty: p.softDirty, consumed: p.consumed}
 		np.data = p.data
 		out.pages[pb] = np
 	}

@@ -74,6 +74,12 @@ func (r Region) Contains(addr Addr) bool { return addr >= r.Start && addr < r.En
 type page struct {
 	data      [PageSize]byte
 	softDirty bool
+	// consumed marks a soft-dirty bit that ReadAndClearSoftDirty took:
+	// the pre-copy checkpoint cleared it, so "dirty since startup" is the
+	// union of softDirty and consumed. Fork clones it with the data, so a
+	// child forked mid-pre-copy stays exactly accountable; RestoreSoftDirty
+	// turns it back into softDirty when a checkpoint is discarded.
+	consumed bool
 }
 
 // AddressSpace is one process's simulated virtual memory. The zero value is
@@ -297,6 +303,62 @@ func (as *AddressSpace) ClearSoftDirty() {
 	defer as.mu.Unlock()
 	for _, p := range as.pages {
 		p.softDirty = false
+		p.consumed = false
+	}
+}
+
+// ReadAndClearSoftDirty atomically collects the base addresses of all
+// soft-dirty pages (ascending), clears their bits and marks them consumed
+// — the pagemap scan + clear_refs write a pre-copy epoch performs as one
+// step. Because everything happens under the address-space write lock, a
+// concurrent store cannot fall between the read and the clear (every
+// write either lands in the returned set or re-dirties its page for the
+// next epoch), and a concurrent fork clones bit state from strictly
+// before or strictly after the whole operation.
+func (as *AddressSpace) ReadAndClearSoftDirty() []Addr {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	var out []Addr
+	for pb, p := range as.pages {
+		if p.softDirty {
+			p.softDirty = false
+			p.consumed = true
+			out = append(out, pb)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ConsumedDirtyPages returns, ascending, every page whose soft-dirty bit
+// ReadAndClearSoftDirty consumed. Re-dirtying a consumed page does not
+// remove the mark — such a page appears in both this set and
+// SoftDirtyPages. Dirty-since-startup is the union of the two.
+func (as *AddressSpace) ConsumedDirtyPages() []Addr {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	var out []Addr
+	for pb, p := range as.pages {
+		if p.consumed {
+			out = append(out, pb)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RestoreSoftDirty hands every consumed dirty bit back: consumed pages
+// become soft-dirty again and lose the consumed mark. Discarding a
+// pre-copy checkpoint (rollback) calls this so that a later transfer
+// without a checkpoint still sees the full dirty-since-startup set.
+func (as *AddressSpace) RestoreSoftDirty() {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	for _, p := range as.pages {
+		if p.consumed {
+			p.consumed = false
+			p.softDirty = true
+		}
 	}
 }
 

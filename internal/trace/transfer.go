@@ -33,6 +33,13 @@ type Stats struct {
 	ObjectsSkippedClean int    // clean startup objects left to reinitialization
 	TypeTransformed     int    // objects whose layout changed across versions
 	HandlerInvocations  int
+	// Downtime copy-source split: of the bytes copied into the new
+	// version, how many were served from a pre-copy shadow (captured
+	// before quiescence, off the critical path) vs read from the live
+	// address space during downtime. Without a checkpoint every copied
+	// byte is live.
+	BytesFromShadow uint64
+	BytesLive       uint64
 }
 
 // Add accumulates other into s.
@@ -45,6 +52,18 @@ func (s *Stats) Add(other Stats) {
 	s.ObjectsSkippedClean += other.ObjectsSkippedClean
 	s.TypeTransformed += other.TypeTransformed
 	s.HandlerInvocations += other.HandlerInvocations
+	s.BytesFromShadow += other.BytesFromShadow
+	s.BytesLive += other.BytesLive
+}
+
+// ShadowFraction returns the fraction of copied bytes the pre-copy
+// checkpoint kept out of the downtime window.
+func (s *Stats) ShadowFraction() float64 {
+	total := s.BytesFromShadow + s.BytesLive
+	if total == 0 {
+		return 0
+	}
+	return float64(s.BytesFromShadow) / float64(total)
 }
 
 // DirtyReduction returns the fraction of state bytes the soft-dirty filter
@@ -78,6 +97,24 @@ type Options struct {
 	// With Parallelism > 1 user object handlers run concurrently — see
 	// program.ObjHandler for the thread-safety contract.
 	Parallelism int
+	// Shadows, when set, resolves a process key to the pre-copy
+	// checkpoint state the snapshotter accumulated for it while the old
+	// version was still serving (nil for an unknown process). The
+	// transfer unions the checkpoint's consumed pages into the dirty set
+	// — keeping the transferred-object set identical to a checkpoint-free
+	// run — and serves provably-current shadows instead of locked live
+	// reads. Results stay bit-identical with or without a checkpoint.
+	Shadows func(key program.ProcKey) ShadowReader
+}
+
+// ShadowReader is one process's view of a pre-copy checkpoint
+// (implemented by checkpoint.ProcShadow).
+type ShadowReader interface {
+	// EverDirtyPages lists every page whose soft-dirty bit a pre-copy
+	// epoch consumed, ascending.
+	EverDirtyPages() []mem.Addr
+	// Shadow returns the latest pre-copied contents of o, if captured.
+	Shadow(o *mem.Object) ([]byte, bool)
 }
 
 // workers resolves Parallelism to an effective worker count.
@@ -89,6 +126,29 @@ func (o Options) workers() int {
 		return 1
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// shadowFor returns o's pre-copied contents when they are provably
+// current: a shadow exists, it covers the object, and none of o's pages
+// carry a soft-dirty bit at quiescence. Any write after the epoch that
+// captured the shadow would have re-set a bit (the read-and-clear and the
+// store both run under the address-space lock), so a clean page range
+// guarantees the shadow is bit-identical to live memory. Read-only on pt;
+// safe for concurrent workers.
+func (pt *procTransfer) shadowFor(o *mem.Object) ([]byte, bool) {
+	if pt.shadow == nil {
+		return nil, false
+	}
+	buf, ok := pt.shadow.Shadow(o)
+	if !ok || uint64(len(buf)) < o.Size {
+		return nil, false
+	}
+	for pb := o.Addr &^ mem.Addr(mem.PageSize-1); pb < o.End(); pb += mem.PageSize {
+		if pt.curDirty[pb] {
+			return nil, false
+		}
+	}
+	return buf, true
 }
 
 type pairEntry struct {
@@ -109,6 +169,12 @@ type procTransfer struct {
 	pairs     map[mem.Addr]*pairEntry     // keyed by old object start address
 	dirty     map[mem.Addr]bool           // old objects overlapping soft-dirty pages
 	bySiteSeq map[mem.PlanKey]*mem.Object // new-version heap objects
+
+	// Pre-copy checkpoint state (nil / empty without one): the shadow
+	// reader, and the pages still soft-dirty at quiescence — a shadow is
+	// current iff none of its object's pages appear here.
+	shadow   ShadowReader
+	curDirty map[mem.Addr]bool
 
 	stats Stats
 }
@@ -131,7 +197,24 @@ func TransferProc(oldProc, newProc *program.Proc, an *Analysis, opts Options) (S
 			pt.bySiteSeq[mem.PlanKey{Site: o.Site, Seq: o.Seq}] = o
 		}
 	}
-	for _, o := range oldProc.Index().OnPages(oldProc.Space().SoftDirtyPages()) {
+	if opts.Shadows != nil {
+		pt.shadow = opts.Shadows(oldProc.Key())
+	}
+	// The dirty-object set must be identical to a checkpoint-free run:
+	// pages still soft-dirty at quiescence, plus every page whose bit a
+	// pre-copy epoch read-and-cleared. Bits are only ever set by writes
+	// and only cleared by epochs, so the union is exactly the
+	// dirty-since-startup set.
+	cur := oldProc.Space().SoftDirtyPages()
+	dirtyPages := cur
+	if pt.shadow != nil {
+		pt.curDirty = make(map[mem.Addr]bool, len(cur))
+		for _, pb := range cur {
+			pt.curDirty[pb] = true
+		}
+		dirtyPages = append(append([]mem.Addr(nil), cur...), pt.shadow.EverDirtyPages()...)
+	}
+	for _, o := range oldProc.Index().OnPages(dirtyPages) {
 		pt.dirty[o.Addr] = true
 	}
 	reachable, err := pt.discover()
@@ -203,7 +286,10 @@ func (pt *procTransfer) scanObject(o *mem.Object, scratch *[]byte, visit func(*m
 		*scratch = make([]byte, o.Size)
 	}
 	buf := (*scratch)[:o.Size]
-	if err := pt.oldProc.Space().ReadAt(o.Addr, buf); err != nil {
+	if sb, ok := pt.shadowFor(o); ok {
+		// Current shadow: identical bytes without the locked live read.
+		copy(buf, sb[:o.Size])
+	} else if err := pt.oldProc.Space().ReadAt(o.Addr, buf); err != nil {
 		return err
 	}
 	for _, slot := range ptrs {
@@ -437,7 +523,8 @@ func (pt *procTransfer) DefaultTransfer(oldObj, newObj *mem.Object) error {
 		e = &pairEntry{oldObj: oldObj, newObj: newObj}
 	}
 	var scratch []byte
-	return pt.transferObject(e, &scratch)
+	var st Stats // handler-path bytes are accounted by the caller
+	return pt.transferObject(e, &scratch, &st)
 }
 
 var _ program.TransferContext = (*procTransfer)(nil)
@@ -488,9 +575,14 @@ func (pt *procTransfer) transferOne(o *mem.Object, st *Stats, scratch *[]byte) e
 		}
 		st.ObjectsTransferred++
 		st.BytesTransferred += o.Size
+		// Handler behavior is opaque (it may or may not route through
+		// DefaultTransfer), so count its bytes as live conservatively:
+		// the shadow/live split always sums to BytesTransferred and
+		// never overstates what the checkpoint kept out of downtime.
+		st.BytesLive += o.Size
 		return nil
 	}
-	if err := pt.transferObject(e, scratch); err != nil {
+	if err := pt.transferObject(e, scratch, st); err != nil {
 		return err
 	}
 	st.ObjectsTransferred++
@@ -505,7 +597,10 @@ func (pt *procTransfer) transferOne(o *mem.Object, st *Stats, scratch *[]byte) e
 // are remapped there, so the new address space is written with a single
 // locked WriteAt per object — the short serial section concurrent copy
 // workers contend on — and the hot path does not allocate per object.
-func (pt *procTransfer) transferObject(e *pairEntry, scratch *[]byte) error {
+// When a current pre-copy shadow covers the object, the stage is filled
+// from the shadow instead of the locked live read; st records the
+// shadow-vs-live byte split either way.
+func (pt *procTransfer) transferObject(e *pairEntry, scratch *[]byte, st *Stats) error {
 	oldAS, newAS := pt.oldProc.Space(), pt.newProc.Space()
 	o, n := e.oldObj, e.newObj
 	if e.transform == nil || e.transform.Identical {
@@ -517,19 +612,30 @@ func (pt *procTransfer) transferObject(e *pairEntry, scratch *[]byte) error {
 			*scratch = make([]byte, size)
 		}
 		buf := (*scratch)[:size]
-		if err := oldAS.ReadAt(o.Addr, buf); err != nil {
-			return err
+		if sb, ok := pt.shadowFor(o); ok {
+			copy(buf, sb[:size])
+			st.BytesFromShadow += size
+		} else {
+			if err := oldAS.ReadAt(o.Addr, buf); err != nil {
+				return err
+			}
+			st.BytesLive += size
 		}
 		pt.remapInBuf(buf, n.Type)
 		return newAS.WriteAt(n.Addr, buf)
 	}
-	// Layout changed: apply the field map.
+	// Layout changed: apply the field map (always read live — transformed
+	// objects are a small minority and the field copies are scattered).
 	tr := e.transform
 	for _, c := range tr.Copies {
 		if err := pt.copyField(o, n, c); err != nil {
 			return err
 		}
 	}
+	// Attributed at object granularity, like BytesTransferred, so the
+	// shadow/live split always sums to the transferred total even when
+	// the field map covers only part of the object.
+	st.BytesLive += o.Size
 	return nil
 }
 
