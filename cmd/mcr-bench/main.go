@@ -26,10 +26,14 @@ func main() {
 		updateTime  = flag.Bool("updatetime", false, "update-time components")
 		dirty       = flag.Bool("dirtystats", false, "dirty-filter reduction")
 		ckpt        = flag.Bool("checkpoint", false, "pre-copy checkpoint: downtime vs dirty ratio")
+		downtime    = flag.Bool("downtime", false, "pipelined vs sequential engine: downtime breakdown (always runs both engines with pre-copy armed; -sequential/-precopy do not apply)")
 		all         = flag.Bool("all", false, "run every experiment")
 		full        = flag.Bool("full", false, "paper-scale parameters (slow)")
 		reps        = flag.Int("reps", 3, "repetitions for Table 3 (best-of)")
 		parallelism = flag.Int("parallelism", 0, "state-transfer workers per process (0 = all CPUs, 1 = sequential)")
+		sequential  = flag.Bool("sequential", false, "use the strictly-ordered update engine (pipelining ablation)")
+		livetraffic = flag.Bool("livetraffic", false, "drive concurrent client traffic through Figure 3 updates")
+		precopy     = flag.Bool("precopy", false, "arm the pre-copy checkpoint engine on every update")
 	)
 	flag.Parse()
 
@@ -41,10 +45,14 @@ func main() {
 		UpdateTime:  *updateTime,
 		Dirty:       *dirty,
 		Checkpoint:  *ckpt,
+		Downtime:    *downtime,
 		All:         *all,
 		Full:        *full,
 		Reps:        *reps,
 		Parallelism: *parallelism,
+		Sequential:  *sequential,
+		LiveTraffic: *livetraffic,
+		Precopy:     *precopy,
 	}
 	if err := run(cfg, os.Stdout); err != nil {
 		if errors.Is(err, errNothingSelected) {

@@ -21,10 +21,14 @@ type config struct {
 	UpdateTime  bool
 	Dirty       bool
 	Checkpoint  bool
+	Downtime    bool
 	All         bool
 	Full        bool
 	Reps        int
-	Parallelism int // state-transfer workers (0 = GOMAXPROCS, 1 = sequential)
+	Parallelism int  // state-transfer workers (0 = GOMAXPROCS, 1 = sequential)
+	Sequential  bool // strictly-ordered update engine (pipelining ablation)
+	LiveTraffic bool // drive concurrent traffic through Figure 3 updates
+	Precopy     bool // arm the pre-copy checkpoint engine on every update
 }
 
 // run executes every selected experiment, writing rendered results to out.
@@ -38,6 +42,9 @@ func run(cfg config, out io.Writer) error {
 	ecfg := experiments.Config{
 		Scale:       experiments.Quick,
 		Parallelism: cfg.Parallelism,
+		Sequential:  cfg.Sequential,
+		LiveTraffic: cfg.LiveTraffic,
+		Precopy:     cfg.Precopy,
 	}
 	if cfg.Full {
 		ecfg.Scale = experiments.Full
@@ -94,6 +101,14 @@ func run(cfg config, out io.Writer) error {
 		res, err := experiments.RunCheckpoint(ecfg)
 		if err != nil {
 			return fmt.Errorf("checkpoint: %w", err)
+		}
+		fmt.Fprintln(out, res.Render())
+	}
+	if cfg.All || cfg.Downtime {
+		ran = true
+		res, err := experiments.RunDowntime(ecfg)
+		if err != nil {
+			return fmt.Errorf("downtime: %w", err)
 		}
 		fmt.Fprintln(out, res.Render())
 	}

@@ -35,3 +35,16 @@ func TestRunDirtyStatsWithParallelism(t *testing.T) {
 		t.Errorf("missing dirty-stats header:\n%s", out.String())
 	}
 }
+
+func TestRunDowntimeExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run(config{Downtime: true, Reps: 1}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"Pipelined update engine", "downtime reduction", "bit-identical"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in downtime output:\n%s", want, got)
+		}
+	}
+}

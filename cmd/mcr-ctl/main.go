@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	mcr-ctl -server nginx -updates 3 [-parallelism N] [-precopy [-epochs N]]
+//	mcr-ctl -server nginx -updates 3 [-parallelism N] [-precopy [-epochs N]] [-sequential]
 package main
 
 import (
@@ -27,11 +27,12 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "state-transfer workers per process (0 = all CPUs, 1 = sequential)")
 		precopy     = flag.Bool("precopy", false, "arm the incremental pre-copy checkpoint engine")
 		epochs      = flag.Int("epochs", 0, "pre-copy epoch bound (0 = default; requires -precopy)")
+		sequential  = flag.Bool("sequential", false, "use the strictly-ordered update engine (pipelining off)")
 	)
 	flag.Parse()
 
 	cfg := config{Server: *server, Updates: *updates, Parallelism: *parallelism,
-		Precopy: *precopy, Epochs: *epochs}
+		Precopy: *precopy, Epochs: *epochs, Sequential: *sequential}
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mcr-ctl:", err)
 		if errors.Is(err, errUsage) {

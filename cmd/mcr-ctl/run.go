@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/kernel"
@@ -24,6 +25,7 @@ type config struct {
 	Parallelism int  // state-transfer workers (0 = GOMAXPROCS, 1 = sequential)
 	Precopy     bool // arm the incremental pre-copy checkpoint engine
 	Epochs      int  // pre-copy epoch bound (0 = checkpoint default)
+	Sequential  bool // strictly-ordered update engine (pipelining off)
 }
 
 // run executes the whole scenario — launch, stage, update, verify the
@@ -57,6 +59,7 @@ func run(cfg config, out io.Writer) error {
 		Parallelism:   cfg.Parallelism,
 		Precopy:       cfg.Precopy,
 		PrecopyEpochs: cfg.Epochs,
+		Sequential:    cfg.Sequential,
 	})
 	if _, err := engine.Launch(spec.Version(0)); err != nil {
 		return fmt.Errorf("launch: %w", err)
@@ -104,11 +107,18 @@ func run(cfg config, out io.Writer) error {
 		if err := send("status"); err != nil {
 			return err
 		}
-		if cfg.Precopy {
-			if hist := engine.History(); len(hist) > 0 {
-				rep := hist[len(hist)-1]
-				fmt.Fprintf(out, "  precopy: %d epochs, %d objects shadowed; downtime copy: %d B from shadow, %d B live (%.0f%% off the critical path)\n",
-					rep.Precopy.Epochs, rep.Precopy.ObjectsCopied,
+		if hist := engine.History(); len(hist) > 0 {
+			rep := hist[len(hist)-1]
+			engineName := "pipelined"
+			if !rep.Pipelined {
+				engineName = "sequential"
+			}
+			fmt.Fprintf(out, "  downtime: %s (%s engine; %d/%d analyses reused)\n",
+				rep.Downtime.Round(10*time.Microsecond), engineName,
+				rep.AnalysesReused, rep.AnalysesReused+rep.ProcsReanalyzed)
+			if cfg.Precopy {
+				fmt.Fprintf(out, "  precopy: %d epochs (+%d handoff pages), %d objects shadowed; downtime copy: %d B from shadow, %d B live (%.0f%% off the critical path)\n",
+					rep.Precopy.Epochs, rep.Precopy.FinalPages, rep.Precopy.ObjectsCopied,
 					rep.Transfer.BytesFromShadow, rep.Transfer.BytesLive,
 					rep.Transfer.ShadowFraction()*100)
 			}

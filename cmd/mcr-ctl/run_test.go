@@ -78,3 +78,29 @@ func TestRunPrecopyDeploysUpdateAndReportsShadowSplit(t *testing.T) {
 		}
 	}
 }
+
+func TestRunSequentialEngineDeploysUpdate(t *testing.T) {
+	var out strings.Builder
+	if err := run(config{Server: "nginx", Updates: 1, Sequential: true}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"downtime:", "sequential engine", "done: all updates deployed live"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunPipelinedReportsDowntime(t *testing.T) {
+	var out strings.Builder
+	if err := run(config{Server: "nginx", Updates: 1, Precopy: true}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"pipelined engine", "analyses reused", "handoff pages"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

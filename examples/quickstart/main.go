@@ -182,7 +182,7 @@ func main() {
 	}
 	fmt.Printf("update done in %v (quiesce %v, control migration %v, state transfer %v)\n",
 		rep.TotalTime.Round(time.Microsecond), rep.QuiesceTime.Round(time.Microsecond),
-		rep.ControlMigrationTime.Round(time.Microsecond), rep.StateTransferTime.Round(time.Microsecond))
+		rep.ControlMigrationTime.Round(time.Microsecond), rep.TransferWork().Round(time.Microsecond))
 	fmt.Printf("replayed %d startup operations, %d executed live; transferred %d objects (%d type-transformed)\n",
 		rep.Replayed, rep.LiveExecuted, rep.Transfer.ObjectsTransferred, rep.Transfer.TypeTransformed)
 

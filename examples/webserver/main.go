@@ -52,7 +52,7 @@ func main() {
 		}
 		fmt.Printf("update %2d -> %-18s %8v total (transfer %6v)  client sees: %.60s...\n",
 			i, spec.Version(i).Release, rep.TotalTime.Round(10*time.Microsecond),
-			rep.StateTransferTime.Round(10*time.Microsecond), resp)
+			rep.TransferWork().Round(10*time.Microsecond), resp)
 	}
 	fmt.Printf("\n%d live updates in %v; the client connection never dropped\n",
 		spec.NumVersions-1, total.Round(time.Millisecond))

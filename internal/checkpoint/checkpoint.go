@@ -79,6 +79,14 @@ type Stats struct {
 	ObjectsCopied int  // shadow captures (re-captures included)
 	BytesCopied   uint64
 	PerEpoch      []EpochStats
+	// The handoff epoch the pipelined engine runs after quiescence,
+	// concurrently with the new version's RESTART phase. Accounted apart
+	// from the pre-quiesce loop so the Epochs bound and its per-epoch
+	// history keep their meaning.
+	FinalRan     bool
+	FinalPages   int
+	FinalObjects int
+	FinalBytes   uint64
 }
 
 // Snapshotter is the epoch-based background pre-copier for one running
@@ -133,6 +141,38 @@ func (s *Snapshotter) Run() Stats {
 // its soft-dirty bits, then shadow the objects overlapping the dirty
 // pages.
 func (s *Snapshotter) Epoch() EpochStats {
+	es := s.epoch()
+	s.mu.Lock()
+	s.stats.Epochs++
+	es.Epoch = s.stats.Epochs
+	s.stats.PagesCopied += es.DirtyPages
+	s.stats.ObjectsCopied += es.ObjectsCopied
+	s.stats.BytesCopied += es.BytesCopied
+	s.stats.PerEpoch = append(s.stats.PerEpoch, es)
+	s.mu.Unlock()
+	return es
+}
+
+// FinalEpoch runs the handoff epoch over the quiesced instance: with no
+// thread left running, everything still dirty is consumed and shadowed in
+// one pass, after which the entire downtime copy can be served from
+// shadows. The pipelined engine runs it concurrently with the new
+// version's RESTART phase — the residual live copy shrinks while v2
+// boots. Recorded in the Final* stats, not the epoch-loop history.
+func (s *Snapshotter) FinalEpoch() EpochStats {
+	es := s.epoch()
+	s.mu.Lock()
+	s.stats.FinalRan = true
+	s.stats.FinalPages += es.DirtyPages
+	s.stats.FinalObjects += es.ObjectsCopied
+	s.stats.FinalBytes += es.BytesCopied
+	s.mu.Unlock()
+	return es
+}
+
+// epoch is the shared pass: consume every process's soft-dirty bits and
+// shadow the objects on the consumed pages.
+func (s *Snapshotter) epoch() EpochStats {
 	es := EpochStats{}
 	for _, p := range s.inst.Procs() {
 		pages := p.Space().ReadAndClearSoftDirty()
@@ -163,14 +203,6 @@ func (s *Snapshotter) Epoch() EpochStats {
 			es.BytesCopied += o.Size
 		}
 	}
-	s.mu.Lock()
-	s.stats.Epochs++
-	es.Epoch = s.stats.Epochs
-	s.stats.PagesCopied += es.DirtyPages
-	s.stats.ObjectsCopied += es.ObjectsCopied
-	s.stats.BytesCopied += es.BytesCopied
-	s.stats.PerEpoch = append(s.stats.PerEpoch, es)
-	s.mu.Unlock()
 	return es
 }
 

@@ -562,3 +562,62 @@ func TestEpochRaceStress(t *testing.T) {
 		t.Fatal("no epochs ran")
 	}
 }
+
+// TestFinalEpochShadowsResidual pins the handoff-epoch contract: over a
+// quiesced instance one final pass consumes everything still dirty, so
+// the downtime copy is served entirely from shadows; its accounting stays
+// out of the pre-quiesce epoch-loop stats; and the result is bit-identical
+// to a checkpoint-free transfer over the same state.
+func TestFinalEpochShadowsResidual(t *testing.T) {
+	v1 := startInst(t, synthVersion(0, true), program.Options{}, nil, nil)
+	defer v1.Terminate()
+	dirtyHeap(t, v1, 1, 0) // whole heap written since startup
+	snap := New(v1, Options{})
+	snap.Run()
+	dirtyHeap(t, v1, 2, 1) // residual working set after the epoch loop
+	if _, err := v1.Quiesce(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	loop := snap.Stats()
+
+	es := snap.FinalEpoch()
+	if es.DirtyPages == 0 {
+		t.Fatal("final epoch found no residual dirty pages")
+	}
+	st := snap.Stats()
+	if !st.FinalRan || st.FinalPages != es.DirtyPages || st.FinalBytes != es.BytesCopied {
+		t.Errorf("final stats not recorded: %+v vs epoch %+v", st, es)
+	}
+	if st.Epochs != loop.Epochs || st.PagesCopied != loop.PagesCopied ||
+		len(st.PerEpoch) != len(loop.PerEpoch) {
+		t.Errorf("final epoch leaked into the loop stats: %+v vs %+v", st, loop)
+	}
+	for _, p := range v1.Procs() {
+		if n := len(p.Space().SoftDirtyPages()); n != 0 {
+			t.Errorf("proc %s: %d pages still dirty after the final epoch", p.Key(), n)
+		}
+	}
+
+	// Quiesced + drained: nothing can be re-dirtied, so every copied byte
+	// comes from a shadow.
+	pre, v2pre := transferInto(t, v1, true, 1, snap)
+	defer v2pre.Terminate()
+	if pre.BytesLive != 0 {
+		t.Errorf("BytesLive = %d after the final epoch, want 0", pre.BytesLive)
+	}
+	if pre.BytesFromShadow != pre.BytesTransferred {
+		t.Errorf("shadow bytes %d != transferred %d", pre.BytesFromShadow, pre.BytesTransferred)
+	}
+
+	// Discarding hands the consumed bits back; the checkpoint-free
+	// transfer then moves the same objects with identical contents.
+	snap.Discard()
+	base, v2base := transferInto(t, v1, true, 1, nil)
+	defer v2base.Terminate()
+	if base.BytesTransferred != pre.BytesTransferred || base.ObjectsTransferred != pre.ObjectsTransferred {
+		t.Errorf("final epoch changed the transfer scope: %d/%d bytes, %d/%d objects",
+			pre.BytesTransferred, base.BytesTransferred,
+			pre.ObjectsTransferred, base.ObjectsTransferred)
+	}
+	compareInstances(t, "final-epoch vs baseline", v2pre, v2base)
+}

@@ -121,7 +121,7 @@ func (c *Controller) dispatch(req string) string {
 		}
 		return fmt.Sprintf("OK updated to %s in %v (quiesce=%v migrate=%v transfer=%v)",
 			v, rep.TotalTime.Round(time.Millisecond), rep.QuiesceTime.Round(time.Millisecond),
-			rep.ControlMigrationTime.Round(time.Millisecond), rep.StateTransferTime.Round(time.Millisecond))
+			rep.ControlMigrationTime.Round(time.Millisecond), rep.TransferWork().Round(time.Millisecond))
 	default:
 		return fmt.Sprintf("ERR unknown command %q", fields[0])
 	}

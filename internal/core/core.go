@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/kernel"
+	"repro/internal/mem"
 	"repro/internal/program"
 	"repro/internal/quiesce"
 	"repro/internal/reinit"
@@ -66,6 +67,18 @@ type Options struct {
 	PrecopyEpochs int
 	// PrecopyInterval pauses between pre-copy epochs (0 = back-to-back).
 	PrecopyInterval time.Duration
+	// Sequential disables the pipelined engine and runs every update
+	// phase strictly in order (pre-copy, quiesce, analysis, restart,
+	// transfer) — the downtime-ablation baseline. The default (pipelined)
+	// engine overlaps the independent phases and produces bit-identical
+	// results.
+	Sequential bool
+	// BeforeQuiesce, when set, is invoked after the pre-copy epochs (if
+	// any) and immediately before quiescence begins — the last moment the
+	// old version's state can change. Operators can log or snapshot here;
+	// the downtime harness injects residual writes to exercise the
+	// handoff epoch deterministically.
+	BeforeQuiesce func(old *program.Instance)
 	// PolicySet marks Policy as explicitly provided (a zero Policy is the
 	// fully-precise ablation).
 	PolicySet bool
@@ -87,13 +100,26 @@ func (o *Options) fill() {
 }
 
 // UpdateReport is the timing and outcome breakdown of one live update —
-// the three update-time components §8 evaluates, plus transfer statistics.
+// the three update-time components §8 evaluates, plus transfer statistics
+// and the pipelined engine's phase-overlap accounting.
 type UpdateReport struct {
 	PrecopyTime          time.Duration // pre-copy epochs (old version still serving)
 	QuiesceTime          time.Duration // checkpoint: barrier convergence
+	AnalysisTime         time.Duration // in-window analysis (validation + re-analysis when pipelined)
 	ControlMigrationTime time.Duration // restart: v2 startup under replay
-	StateTransferTime    time.Duration // remap: mutable tracing
-	TotalTime            time.Duration
+	DiscoveryTime        time.Duration // old-side discovery (+ handoff epoch); overlapped with restart when pipelined
+	StateTransferTime    time.Duration // remap: pair + copy (pipelined) or the whole transfer (sequential)
+	// Downtime is the service-unavailable window: from the moment
+	// quiescence is initiated to the moment the new version resumes. The
+	// pipelined engine exists to shrink exactly this number.
+	Downtime  time.Duration
+	TotalTime time.Duration
+
+	// Pipelined reports which engine ran; AnalysesReused / ProcsReanalyzed
+	// split the speculative-analysis validation outcome per process.
+	Pipelined       bool
+	AnalysesReused  int
+	ProcsReanalyzed int
 
 	Replayed, LiveExecuted, Conflicted int
 	Transfer                           trace.Stats
@@ -102,6 +128,16 @@ type UpdateReport struct {
 
 	RolledBack bool
 	Reason     error
+}
+
+// TransferWork returns the total mutable-tracing wall clock: discovery
+// plus pair/copy. The sequential engine reports all of it in
+// StateTransferTime, while the pipelined engine splits discovery out into
+// DiscoveryTime (overlapped with RESTART) — so paper-comparison columns
+// ("state transfer time") must use this sum to stay comparable across
+// engines and PRs.
+func (r *UpdateReport) TransferWork() time.Duration {
+	return r.DiscoveryTime + r.StateTransferTime
 }
 
 // Engine manages the live-update lifecycle of one server program.
@@ -177,6 +213,16 @@ func (e *Engine) Launch(v *program.Version) (*program.Instance, error) {
 // the old version is terminated and the new one is serving; on any
 // conflict or failure the new version is discarded and the old version
 // resumes from its checkpoint — clients never observe a failed attempt.
+//
+// By default the update runs on the pipelined engine, which overlaps the
+// independent phases so the downtime window (quiesce -> commit) does not
+// pay for work that can run while something else is in flight: the
+// conservative analysis runs speculatively during the pre-copy epochs and
+// is validated against the memory deltas at quiescence; the checkpoint's
+// handoff epoch and the old-side object discovery run concurrently with
+// the new version's RESTART; and REMAP begins pairing the moment startup
+// completes. Options.Sequential selects the strictly-ordered engine; both
+// produce bit-identical results.
 func (e *Engine) Update(v2 *program.Version) (*UpdateReport, error) {
 	e.mu.Lock()
 	old := e.current
@@ -192,48 +238,40 @@ func (e *Engine) Update(v2 *program.Version) (*UpdateReport, error) {
 		e.history = append(e.history, rep)
 		e.mu.Unlock()
 	}()
-
-	// --- CHECKPOINT: pre-copy epochs, then quiesce ---------------------
-	// The snapshotter runs while the old version is still serving: each
-	// epoch consumes the soft-dirty bits and shadows the objects on the
-	// dirty pages, so the downtime copy below only reads the residual
-	// dirty working set from live memory. Epochs are speculative; the
-	// deferred Discard hands the consumed bits back on any outcome
-	// (rollback needs them for the next attempt; after commit the old
-	// instance is gone and re-marking is harmless).
-	var snap *checkpoint.Snapshotter
-	if e.opts.Precopy {
-		pcStart := time.Now()
-		snap = checkpoint.New(old, checkpoint.Options{
-			MaxEpochs: e.opts.PrecopyEpochs,
-			Interval:  e.opts.PrecopyInterval,
-		})
-		rep.Precopy = snap.Run()
-		rep.PrecopyTime = time.Since(pcStart)
-		defer snap.Discard()
+	if e.opts.Sequential {
+		return e.updateSequential(old, v2, rep)
 	}
+	return e.updatePipelined(old, v2, rep)
+}
 
-	qd, err := old.Quiesce(e.opts.QuiesceTimeout)
-	if err != nil {
-		old.Resume()
-		rep.RolledBack = true
-		rep.Reason = err
-		return rep, fmt.Errorf("%w: quiescence: %v", ErrUpdateFailed, err)
+// precopy arms and runs the incremental pre-copy checkpoint engine while
+// the old version is still serving: each epoch consumes the soft-dirty
+// bits and shadows the objects on the dirty pages, so the downtime copy
+// only reads the residual dirty working set from live memory. Epochs are
+// speculative; the caller defers Discard so the consumed bits are handed
+// back on any outcome (rollback needs them for the next attempt; after
+// commit the old instance is gone and re-marking is harmless).
+func (e *Engine) precopy(old *program.Instance, rep *UpdateReport) *checkpoint.Snapshotter {
+	if !e.opts.Precopy {
+		return nil
 	}
-	rep.QuiesceTime = qd
+	pcStart := time.Now()
+	snap := checkpoint.New(old, checkpoint.Options{
+		MaxEpochs: e.opts.PrecopyEpochs,
+		Interval:  e.opts.PrecopyInterval,
+	})
+	rep.Precopy = snap.Run()
+	rep.PrecopyTime = time.Since(pcStart)
+	return snap
+}
 
-	// Update-time analysis of the old version: immutable-object marking
-	// for the startup logs, conservative tracing analysis for memory.
-	reinit.MarkLogs(old)
-	analyses, err := trace.AnalyzeInstance(old, e.opts.Policy, e.opts.TransferLibs)
-	if err != nil {
-		return rep, e.rollback(old, nil, rep, fmt.Errorf("analysis: %w", err))
-	}
-	plan, reserve, pinnedStatics := trace.CombinedPlacement(analyses)
-
-	// --- RESTART: new version under mutable reinitialization -----------
-	cmStart := time.Now()
-	mgr := reinit.NewManager(old, e.opts.ReplayStrategy)
+// restart runs the RESTART phase: the new version starts from scratch
+// under mutable reinitialization, replaying the old version's startup log
+// for immutable operations. Shared by both engines; the returned instance
+// is non-nil exactly when every step succeeded.
+func (e *Engine) restart(old *program.Instance, v2 *program.Version,
+	mgr *reinit.Manager, plan map[mem.PlanKey]mem.Addr, reserve []*mem.Object,
+	pinnedStatics map[string]uint64) (*program.Instance, error) {
 	newInst, err := program.NewInstance(v2, e.kern, program.Options{
 		Instr:              e.opts.Instr,
 		Profiler:           e.opts.Profiler,
@@ -243,16 +281,16 @@ func (e *Engine) Update(v2 *program.Version) (*UpdateReport, error) {
 		RegionInstrumented: e.opts.RegionInstrumented,
 	})
 	if err != nil {
-		return rep, e.rollback(old, nil, rep, err)
+		return nil, err
 	}
 	if err := reinit.InheritPlacement(newInst.Root(), plan, reserve); err != nil {
-		return rep, e.rollback(old, newInst, rep, err)
+		return newInst, err
 	}
 	if err := newInst.Start(); err != nil {
-		return rep, e.rollback(old, newInst, rep, err)
+		return newInst, err
 	}
 	if err := newInst.WaitStartup(e.opts.StartupTimeout); err != nil {
-		return rep, e.rollback(old, newInst, rep, err)
+		return newInst, err
 	}
 	// Omitted-operation conflicts: unconsumed immutable records.
 	if left := mgr.Leftovers(); len(left) > 0 {
@@ -261,8 +299,8 @@ func (e *Engine) Update(v2 *program.Version) (*UpdateReport, error) {
 			first = recs[0]
 			break
 		}
-		return rep, e.rollback(old, newInst, rep,
-			fmt.Errorf("%w: startup omitted recorded operation %s", program.ErrConflict, first))
+		return newInst, fmt.Errorf("%w: startup omitted recorded operation %s",
+			program.ErrConflict, first)
 	}
 	// Volatile quiescent states: run the version's reinitialization
 	// handlers to respawn session handlers, then re-converge.
@@ -274,24 +312,36 @@ func (e *Engine) Update(v2 *program.Version) (*UpdateReport, error) {
 		}
 		for _, h := range handlers {
 			if err := h(ri); err != nil {
-				return rep, e.rollback(old, newInst, rep, fmt.Errorf("reinit handler: %w", err))
+				return newInst, fmt.Errorf("reinit handler: %w", err)
 			}
 		}
 		if _, err := newInst.Barrier().WaitQuiesced(e.opts.QuiesceTimeout); err != nil {
-			return rep, e.rollback(old, newInst, rep, err)
+			return newInst, err
 		}
 		// A reconstructed thread that died with an error deregisters from
 		// the barrier, so convergence alone does not prove success.
 		if errs := newInst.Errors(); len(errs) > 0 {
-			return rep, e.rollback(old, newInst, rep, errs[0])
+			return newInst, errs[0]
 		}
 	}
 	newInst.CompleteStartup()
-	rep.ControlMigrationTime = time.Since(cmStart)
-	rep.Replayed, rep.LiveExecuted, rep.Conflicted = mgr.ReplayStats()
+	return newInst, nil
+}
 
-	// --- REMAP: mutable tracing state transfer -------------------------
-	stStart := time.Now()
+// commit finalizes a successful update: collect inherited-but-unused fds,
+// leave reserved mode, terminate the old version and resume the new one.
+func (e *Engine) commit(old, newInst *program.Instance, rep *UpdateReport) {
+	rep.FDsCollected = reinit.CollectUnused(old, newInst)
+	reinit.ReservedModeOff(newInst)
+	old.Terminate()
+	newInst.Resume()
+	e.mu.Lock()
+	e.current = newInst
+	e.mu.Unlock()
+}
+
+// transferOptions builds the trace options both engines share.
+func (e *Engine) transferOptions(snap *checkpoint.Snapshotter) trace.Options {
 	topts := trace.Options{
 		Policy:             e.opts.Policy,
 		TransferLibs:       e.opts.TransferLibs,
@@ -301,7 +351,61 @@ func (e *Engine) Update(v2 *program.Version) (*UpdateReport, error) {
 	if snap != nil {
 		topts.Shadows = snap.Shadows()
 	}
-	stats, err := trace.TransferInstance(old, newInst, analyses, topts)
+	return topts
+}
+
+// updateSequential is the strictly-ordered engine: every phase completes
+// before the next begins. It is the downtime-ablation baseline the
+// pipelined engine is measured against.
+func (e *Engine) updateSequential(old *program.Instance, v2 *program.Version, rep *UpdateReport) (*UpdateReport, error) {
+	// --- CHECKPOINT: pre-copy epochs, then quiesce ---------------------
+	snap := e.precopy(old, rep)
+	if snap != nil {
+		defer snap.Discard()
+	}
+	if h := e.opts.BeforeQuiesce; h != nil {
+		h(old)
+	}
+
+	dtStart := time.Now()
+	// A rollback pauses service too: every failure path below returns
+	// right after the old version resumed, so account the window then.
+	defer func() {
+		if rep.RolledBack && rep.Downtime == 0 {
+			rep.Downtime = time.Since(dtStart)
+		}
+	}()
+	qd, err := old.Quiesce(e.opts.QuiesceTimeout)
+	if err != nil {
+		return rep, e.rollback(old, nil, rep, fmt.Errorf("quiescence: %w", err))
+	}
+	rep.QuiesceTime = qd
+
+	// Update-time analysis of the old version: immutable-object marking
+	// for the startup logs, conservative tracing analysis for memory.
+	reinit.MarkLogs(old)
+	anStart := time.Now()
+	analyses, err := trace.AnalyzeInstance(old, e.opts.Policy, e.opts.TransferLibs)
+	if err != nil {
+		return rep, e.rollback(old, nil, rep, fmt.Errorf("analysis: %w", err))
+	}
+	rep.AnalysisTime = time.Since(anStart)
+	rep.ProcsReanalyzed = len(analyses)
+	plan, reserve, pinnedStatics := trace.CombinedPlacement(analyses)
+
+	// --- RESTART: new version under mutable reinitialization -----------
+	cmStart := time.Now()
+	mgr := reinit.NewManager(old, e.opts.ReplayStrategy)
+	newInst, err := e.restart(old, v2, mgr, plan, reserve, pinnedStatics)
+	if err != nil {
+		return rep, e.rollback(old, newInst, rep, err)
+	}
+	rep.ControlMigrationTime = time.Since(cmStart)
+	rep.Replayed, rep.LiveExecuted, rep.Conflicted = mgr.ReplayStats()
+
+	// --- REMAP: mutable tracing state transfer -------------------------
+	stStart := time.Now()
+	stats, err := trace.TransferInstance(old, newInst, analyses, e.transferOptions(snap))
 	rep.Transfer = stats
 	if err != nil {
 		return rep, e.rollback(old, newInst, rep, err)
@@ -309,13 +413,133 @@ func (e *Engine) Update(v2 *program.Version) (*UpdateReport, error) {
 	rep.StateTransferTime = time.Since(stStart)
 
 	// --- COMMIT ---------------------------------------------------------
-	rep.FDsCollected = reinit.CollectUnused(old, newInst)
-	reinit.ReservedModeOff(newInst)
-	old.Terminate()
-	newInst.Resume()
-	e.mu.Lock()
-	e.current = newInst
-	e.mu.Unlock()
+	e.commit(old, newInst, rep)
+	rep.Downtime = time.Since(dtStart)
+	return rep, nil
+}
+
+// updatePipelined is the phase-overlapping engine. Three overlaps take
+// work off the downtime-critical path, with results bit-identical to the
+// sequential engine:
+//
+//  1. The conservative analysis runs speculatively while the old version
+//     is still serving (concurrently with the pre-copy epochs) and is
+//     validated per process against the soft-dirty/allocation deltas at
+//     quiescence; only invalidated processes are re-analyzed in-window.
+//  2. The checkpoint's handoff epoch and the old-side object discovery
+//     run concurrently with the new version's RESTART phase: the residual
+//     live copy shrinks to nothing while v2 boots, because a quiesced
+//     instance cannot re-dirty what the handoff epoch shadows.
+//  3. REMAP begins pairing the moment startup completes — the discovery
+//     it needs already happened under RESTART.
+//
+// Any RESTART failure cancels the in-flight old-side work and joins it
+// before rolling back, so the old instance resumes with no reader racing
+// it and the deferred checkpoint Discard restores every consumed bit.
+func (e *Engine) updatePipelined(old *program.Instance, v2 *program.Version, rep *UpdateReport) (*UpdateReport, error) {
+	rep.Pipelined = true
+	// --- CHECKPOINT: speculative analysis overlapped with the pre-copy
+	// epochs, then quiesce --------------------------------------------
+	spec := trace.Speculate(old, e.opts.Policy, e.opts.TransferLibs)
+	snap := e.precopy(old, rep)
+	if snap != nil {
+		defer snap.Discard()
+	}
+	// Join the speculation before initiating quiescence: the old version
+	// is still serving here, so the wait is off the downtime window by
+	// construction — Resolve below must never block in-window.
+	spec.Wait()
+	if h := e.opts.BeforeQuiesce; h != nil {
+		h(old)
+	}
+
+	dtStart := time.Now()
+	// A rollback pauses service too: every failure path below returns
+	// right after the old version resumed, so account the window then.
+	defer func() {
+		if rep.RolledBack && rep.Downtime == 0 {
+			rep.Downtime = time.Since(dtStart)
+		}
+	}()
+	qd, err := old.Quiesce(e.opts.QuiesceTimeout)
+	if err != nil {
+		return rep, e.rollback(old, nil, rep, fmt.Errorf("quiescence: %w", err))
+	}
+	rep.QuiesceTime = qd
+
+	// --- old-side pipeline: handoff epoch, then discovery — overlapped
+	// with analysis resolution and RESTART below ----------------------
+	cancel := make(chan struct{})
+	topts := e.transferOptions(snap)
+	topts.Cancel = cancel
+	var (
+		disc     *trace.InstanceDiscovery
+		derr     error
+		discTook time.Duration
+	)
+	pipeDone := make(chan struct{})
+	go func() {
+		defer close(pipeDone)
+		t0 := time.Now()
+		if snap != nil {
+			snap.FinalEpoch()
+		}
+		disc, derr = trace.DiscoverInstance(old, topts)
+		discTook = time.Since(t0)
+	}()
+	// abort cancels and joins the old-side pipeline, then rolls back. Only
+	// valid before the join point below (cancel must close exactly once).
+	abort := func(newInst *program.Instance, cause error) error {
+		close(cancel)
+		<-pipeDone
+		return e.rollback(old, newInst, rep, cause)
+	}
+
+	// Update-time analysis: immutable-object marking for the startup
+	// logs, then validate the speculative analysis against the deltas,
+	// re-analyzing only what they invalidated.
+	reinit.MarkLogs(old)
+	anStart := time.Now()
+	analyses, reused, err := spec.Resolve(old)
+	if err != nil {
+		return rep, abort(nil, fmt.Errorf("analysis: %w", err))
+	}
+	rep.AnalysesReused = reused
+	rep.ProcsReanalyzed = len(analyses) - reused
+	rep.AnalysisTime = time.Since(anStart)
+	plan, reserve, pinnedStatics := trace.CombinedPlacement(analyses)
+
+	// --- RESTART: new version under mutable reinitialization, concurrent
+	// with the old-side pipeline --------------------------------------
+	cmStart := time.Now()
+	mgr := reinit.NewManager(old, e.opts.ReplayStrategy)
+	newInst, err := e.restart(old, v2, mgr, plan, reserve, pinnedStatics)
+	if err != nil {
+		return rep, abort(newInst, err)
+	}
+	rep.ControlMigrationTime = time.Since(cmStart)
+	rep.Replayed, rep.LiveExecuted, rep.Conflicted = mgr.ReplayStats()
+
+	// --- join the old-side pipeline; REMAP pairs immediately ----------
+	<-pipeDone
+	if snap != nil {
+		rep.Precopy = snap.Stats() // now includes the handoff epoch
+	}
+	if derr != nil {
+		return rep, e.rollback(old, newInst, rep, derr)
+	}
+	rep.DiscoveryTime = discTook
+	stStart := time.Now()
+	stats, err := disc.Complete(newInst, analyses)
+	rep.Transfer = stats
+	if err != nil {
+		return rep, e.rollback(old, newInst, rep, err)
+	}
+	rep.StateTransferTime = time.Since(stStart)
+
+	// --- COMMIT ---------------------------------------------------------
+	e.commit(old, newInst, rep)
+	rep.Downtime = time.Since(dtStart)
 	return rep, nil
 }
 

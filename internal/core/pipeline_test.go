@@ -1,0 +1,246 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/program"
+)
+
+// compareState asserts two instances carry bit-identical state: same
+// processes, same object universes, same memory contents. Used to prove
+// the pipelined engine transfers exactly what the sequential one does.
+func compareState(t *testing.T, a, b *program.Instance) {
+	t.Helper()
+	aprocs := a.Procs()
+	if len(aprocs) != len(b.Procs()) {
+		t.Fatalf("proc count: %d vs %d", len(aprocs), len(b.Procs()))
+	}
+	for _, ap := range aprocs {
+		bp, ok := b.ProcByKey(ap.Key())
+		if !ok {
+			t.Fatalf("proc %s missing in second instance", ap.Key())
+		}
+		aobjs, bobjs := ap.Index().All(), bp.Index().All()
+		if len(aobjs) != len(bobjs) {
+			t.Fatalf("proc %s: object count %d vs %d", ap.Key(), len(aobjs), len(bobjs))
+		}
+		for i, ao := range aobjs {
+			bo := bobjs[i]
+			if ao.Addr != bo.Addr || ao.Size != bo.Size || ao.Kind != bo.Kind ||
+				ao.Site != bo.Site || ao.Seq != bo.Seq || ao.Name != bo.Name {
+				t.Fatalf("proc %s object %d diverged: %s vs %s", ap.Key(), i, ao, bo)
+			}
+			abuf := make([]byte, ao.Size)
+			bbuf := make([]byte, bo.Size)
+			if err := ap.Space().ReadAt(ao.Addr, abuf); err != nil {
+				t.Fatal(err)
+			}
+			if err := bp.Space().ReadAt(bo.Addr, bbuf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(abuf, bbuf) {
+				t.Fatalf("proc %s: contents of %s differ between engines", ap.Key(), ao)
+			}
+		}
+	}
+}
+
+// TestPipelinedMatchesSequential drives two identical engines — the
+// pipelined default and the Sequential ablation — through the same
+// traffic and update, and requires bit-identical transferred state, the
+// same transfer scope, and the same surviving client behavior.
+func TestPipelinedMatchesSequential(t *testing.T) {
+	type run struct {
+		rep  *UpdateReport
+		inst *program.Instance
+		last string
+	}
+	drive := func(sequential bool) run {
+		t.Helper()
+		e, k := launchEchod(t, Options{Sequential: sequential, Precopy: true})
+		t.Cleanup(e.Shutdown)
+		c1, err := k.Connect(7000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := k.Connect(7000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sendRecv(t, c1, "a")
+		sendRecv(t, c1, "b")
+		sendRecv(t, c2, "x")
+		rep, err := e.Update(echodVersion("2.0", 1, "v2", true, 7000))
+		if err != nil {
+			t.Fatalf("Update(sequential=%v): %v", sequential, err)
+		}
+		return run{rep: rep, inst: e.Current(), last: sendRecv(t, c1, "c")}
+	}
+
+	seq := drive(true)
+	pipe := drive(false)
+
+	if seq.rep.Pipelined || !pipe.rep.Pipelined {
+		t.Errorf("engine selection wrong: seq.Pipelined=%v pipe.Pipelined=%v",
+			seq.rep.Pipelined, pipe.rep.Pipelined)
+	}
+	st, pt := seq.rep.Transfer, pipe.rep.Transfer
+	if st.ObjectsTransferred != pt.ObjectsTransferred ||
+		st.ObjectsSkippedClean != pt.ObjectsSkippedClean ||
+		st.BytesTransferred != pt.BytesTransferred ||
+		st.TypeTransformed != pt.TypeTransformed {
+		t.Errorf("transfer scope diverged:\nseq  %+v\npipe %+v", st, pt)
+	}
+	if seq.last != "v2:c:3" || pipe.last != "v2:c:3" {
+		t.Errorf("post-update replies: seq %q pipe %q, want v2:c:3", seq.last, pipe.last)
+	}
+	// The idle-at-update echod has no writes between speculation capture
+	// and quiescence, so the whole analysis is reused off-window.
+	if pipe.rep.AnalysesReused != 1 || pipe.rep.ProcsReanalyzed != 0 {
+		t.Errorf("speculation: reused=%d reanalyzed=%d, want 1/0",
+			pipe.rep.AnalysesReused, pipe.rep.ProcsReanalyzed)
+	}
+	compareState(t, seq.inst, pipe.inst)
+}
+
+// TestPipelinedReportBreakdown pins the pipelined report: the handoff
+// epoch ran, every copied byte came off the critical path, and the
+// downtime window is measured.
+func TestPipelinedReportBreakdown(t *testing.T) {
+	e, k := launchEchod(t, Options{Precopy: true})
+	defer e.Shutdown()
+	cc, _ := k.Connect(7000)
+	sendRecv(t, cc, "a")
+	rep, err := e.Update(echodVersion("2.0", 1, "v2", true, 7000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pipelined {
+		t.Error("default engine not pipelined")
+	}
+	if !rep.Precopy.FinalRan {
+		t.Error("handoff epoch did not run")
+	}
+	if rep.Transfer.BytesLive != 0 {
+		t.Errorf("BytesLive = %d, want 0 (quiesced instance fully shadowed)", rep.Transfer.BytesLive)
+	}
+	if rep.Transfer.BytesFromShadow == 0 {
+		t.Error("nothing served from shadows")
+	}
+	if rep.Downtime <= 0 || rep.Downtime > rep.TotalTime {
+		t.Errorf("downtime %v out of range (total %v)", rep.Downtime, rep.TotalTime)
+	}
+	if rep.QuiesceTime <= 0 || rep.ControlMigrationTime <= 0 || rep.DiscoveryTime <= 0 {
+		t.Errorf("phase timings missing: %+v", rep)
+	}
+	if got := sendRecv(t, cc, "b"); got != "v2:b:2" {
+		t.Errorf("post-update reply = %q", got)
+	}
+}
+
+// TestBeforeQuiesceResidualHitsFinalEpoch injects residual writes at the
+// last pre-quiesce moment: they must be picked up by the handoff epoch
+// during RESTART, keeping the downtime copy fully shadow-served. (Whether
+// they also invalidate the speculative analysis depends on whether the
+// write lands before or after the concurrent capture — both outcomes are
+// valid; the delta logic itself is pinned in trace.TestSpeculateResolve.)
+func TestBeforeQuiesceResidualHitsFinalEpoch(t *testing.T) {
+	opts := Options{Precopy: true}
+	opts.BeforeQuiesce = func(old *program.Instance) {
+		root := old.Root()
+		g := root.MustGlobal("conf")
+		v, err := root.ReadField(g, "")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := root.WriteField(g, "", v); err != nil {
+			t.Error(err)
+		}
+	}
+	e, k := launchEchod(t, opts)
+	defer e.Shutdown()
+	cc, _ := k.Connect(7000)
+	sendRecv(t, cc, "a")
+	rep, err := e.Update(echodVersion("2.0", 1, "v2", true, 7000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AnalysesReused+rep.ProcsReanalyzed != 1 {
+		t.Errorf("analysis accounting broken: reused=%d reanalyzed=%d",
+			rep.AnalysesReused, rep.ProcsReanalyzed)
+	}
+	if rep.Precopy.FinalPages == 0 {
+		t.Error("handoff epoch consumed no residual pages")
+	}
+	if rep.Transfer.BytesLive != 0 {
+		t.Errorf("BytesLive = %d, want 0 (handoff epoch shadows the residual)", rep.Transfer.BytesLive)
+	}
+	if got := sendRecv(t, cc, "b"); got != "v2:b:2" {
+		t.Errorf("post-update reply = %q", got)
+	}
+}
+
+// TestPipelinedRollbackMidRestart injects a failure into the RESTART
+// phase while the overlapped handoff epoch and discovery are in flight:
+// the engine must cancel and join them, restore every consumed soft-dirty
+// bit, and leave the old instance serving — then a follow-up update must
+// still carry the full session state.
+func TestPipelinedRollbackMidRestart(t *testing.T) {
+	e, k := launchEchod(t, Options{Precopy: true})
+	defer e.Shutdown()
+	cc, _ := k.Connect(7000)
+	if got := sendRecv(t, cc, "a"); got != "v1:a:1" {
+		t.Fatal(got)
+	}
+
+	// Wrong port: the bind replay conflicts during RESTART, after the
+	// pre-copy epochs (and possibly the handoff epoch) consumed the dirty
+	// bits.
+	rep, err := e.Update(echodVersion("2.0", 1, "v2", true, 7001))
+	if !errors.Is(err, ErrUpdateFailed) {
+		t.Fatalf("err = %v, want ErrUpdateFailed", err)
+	}
+	if !rep.RolledBack || !rep.Pipelined || rep.Precopy.Epochs == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Old instance serving with state intact.
+	if got := sendRecv(t, cc, "b"); got != "v1:b:2" {
+		t.Errorf("post-rollback reply = %q", got)
+	}
+	// The discarded checkpoint handed every consumed bit back: the
+	// follow-up update still sees and carries the dirty session state.
+	rep2, err := e.Update(echodVersion("2.1", 1, "v2", true, 7000))
+	if err != nil {
+		t.Fatalf("follow-up update: %v", err)
+	}
+	if rep2.Transfer.ObjectsTransferred == 0 {
+		t.Error("follow-up transfer carried nothing")
+	}
+	if got := sendRecv(t, cc, "c"); got != "v2:c:3" {
+		t.Errorf("post-update reply = %q, want v2:c:3", got)
+	}
+}
+
+// TestPipelinedRollbackWithoutPrecopy exercises the cancel/join path when
+// there is no checkpoint: discovery alone is in flight when RESTART fails.
+func TestPipelinedRollbackWithoutPrecopy(t *testing.T) {
+	e, k := launchEchod(t, Options{})
+	defer e.Shutdown()
+	cc, _ := k.Connect(7000)
+	sendRecv(t, cc, "a")
+	if _, err := e.Update(echodVersion("2.0", 1, "v2", true, 7001)); !errors.Is(err, ErrUpdateFailed) {
+		t.Fatalf("err = %v, want ErrUpdateFailed", err)
+	}
+	if got := sendRecv(t, cc, "b"); got != "v1:b:2" {
+		t.Errorf("post-rollback reply = %q", got)
+	}
+	if _, err := e.Update(echodVersion("2.1", 1, "v2", true, 7000)); err != nil {
+		t.Fatalf("follow-up update: %v", err)
+	}
+	if got := sendRecv(t, cc, "c"); got != "v2:c:3" {
+		t.Errorf("post-update reply = %q", got)
+	}
+}

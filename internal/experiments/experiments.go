@@ -93,6 +93,14 @@ type Config struct {
 	Precopy bool
 	// PrecopyEpochs bounds pre-copy epochs (0 = checkpoint default).
 	PrecopyEpochs int
+	// Sequential selects the strictly-ordered update engine instead of
+	// the pipelined default (the downtime-ablation baseline; see
+	// core.Options.Sequential).
+	Sequential bool
+	// LiveTraffic drives concurrent client traffic through every Figure 3
+	// update instead of leaving the open connections idle, so the
+	// pre-copy epochs race a real working set.
+	LiveTraffic bool
 }
 
 // options merges the run configuration into engine options.
@@ -102,6 +110,7 @@ func (c Config) options(opts core.Options) core.Options {
 	}
 	opts.Precopy = c.Precopy
 	opts.PrecopyEpochs = c.PrecopyEpochs
+	opts.Sequential = c.Sequential
 	return opts
 }
 

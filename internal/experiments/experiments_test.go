@@ -235,3 +235,60 @@ func TestCheckpointDowntimeReduction(t *testing.T) {
 	}
 	_ = res.Render()
 }
+
+func TestDowntimePipelineBitIdentical(t *testing.T) {
+	res, err := RunDowntime(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	seq, pipe := res.Rows[0], res.Rows[1]
+	if !seq.Sequential || pipe.Sequential {
+		t.Fatalf("row order wrong: %+v", res.Rows)
+	}
+	// Bit-identical transfer is the hard invariant (RunDowntime itself
+	// also enforces the checksum); the 25% downtime bar is recorded in
+	// BENCH_downtime.json, not asserted here where CI timing noise rules.
+	if seq.StateSum != pipe.StateSum {
+		t.Errorf("state sums differ: %#x vs %#x", seq.StateSum, pipe.StateSum)
+	}
+	if seq.BytesTransferred != pipe.BytesTransferred || seq.ObjectsTransferred != pipe.ObjectsTransferred {
+		t.Errorf("transfer scope diverged: seq %+v pipe %+v", seq, pipe)
+	}
+	if seq.Downtime <= 0 || pipe.Downtime <= 0 {
+		t.Errorf("downtime not measured: seq %v pipe %v", seq.Downtime, pipe.Downtime)
+	}
+	// No writes happen during the update, so the whole analysis must be
+	// validated out of the downtime window.
+	if pipe.AnalysesReused != 1 || pipe.ProcsReanalyzed != 0 {
+		t.Errorf("speculation not reused: %+v", pipe)
+	}
+	// Pre-copy plus the handoff epoch leave nothing for the live path.
+	if pipe.ShadowFraction != 1.0 {
+		t.Errorf("pipelined shadow fraction = %.2f, want 1.0", pipe.ShadowFraction)
+	}
+	_ = res.Render()
+}
+
+func TestFigure3LiveTrafficPrecopy(t *testing.T) {
+	res, err := RunFigure3(Config{Precopy: true, LiveTraffic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		for _, pt := range s.Points {
+			if pt.PrecopyEpochs == 0 {
+				t.Errorf("%s@%d conns: no pre-copy epochs ran", s.Name, pt.Connections)
+			}
+			if pt.Connections > 0 && pt.TrafficReqs == 0 {
+				t.Errorf("%s@%d conns: no live traffic completed during the update", s.Name, pt.Connections)
+			}
+			if pt.Downtime <= 0 {
+				t.Errorf("%s@%d conns: downtime not measured", s.Name, pt.Connections)
+			}
+		}
+	}
+	_ = res.Render()
+}

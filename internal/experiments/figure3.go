@@ -18,9 +18,17 @@ type Figure3Point struct {
 	StateTransfer        time.Duration
 	Quiesce              time.Duration
 	ControlMigration     time.Duration
+	Downtime             time.Duration
 	Total                time.Duration
 	BytesTransferred     uint64
 	DirtyReductionNoConn float64 // dirty-filter savings at this point
+	// Pre-copy under live traffic (Config.Precopy / Config.LiveTraffic):
+	// how many epochs raced the workload, the fraction of the downtime
+	// copy they kept off the critical path, and how many concurrent
+	// requests completed while the update ran.
+	PrecopyEpochs  int
+	ShadowFraction float64
+	TrafficReqs    int
 }
 
 // Figure3Series is one server's curve.
@@ -57,11 +65,31 @@ func RunFigure3(cfg Config) (*Figure3Result, error) {
 	return res, nil
 }
 
+// driveOne issues one protocol-appropriate request on the session.
+func driveOne(spec *servers.Spec, s *workload.Session, i int) error {
+	var err error
+	switch spec.Name {
+	case "httpd", "nginx":
+		_, err = workload.KeepaliveRequest(s, fmt.Sprintf("GET /live-%d", i))
+	case "vsftpd":
+		_, err = workload.FTPCommand(s, "STAT")
+	case "sshd":
+		_, err = workload.SSHExec(s, "true")
+	}
+	return err
+}
+
 func figure3Point(spec *servers.Spec, cfg Config, conns int) (Figure3Point, error) {
-	e, k, err := launchServer(spec, cfg, core.Options{
+	opts := core.Options{
 		QuiesceTimeout: 30 * time.Second,
 		StartupTimeout: 30 * time.Second,
-	})
+	}
+	if cfg.LiveTraffic && cfg.Precopy {
+		// Space the epochs out so the concurrent workload can re-dirty
+		// its working set between them — the regime pre-copy exists for.
+		opts.PrecopyInterval = 2 * time.Millisecond
+	}
+	e, k, err := launchServer(spec, cfg, opts)
 	if err != nil {
 		return Figure3Point{}, err
 	}
@@ -71,18 +99,49 @@ func figure3Point(spec *servers.Spec, cfg Config, conns int) (Figure3Point, erro
 		return Figure3Point{}, err
 	}
 	defer workload.CloseSessions(sessions)
-	rep, err := e.Update(spec.Version(1))
-	if err != nil {
-		return Figure3Point{}, err
+
+	// Under LiveTraffic, one session keeps issuing requests throughout
+	// the update: pre-copy epochs race real writes, requests in flight at
+	// quiescence are answered by the new version after commit.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	reqs := 0
+	if cfg.LiveTraffic && conns > 0 {
+		go func() {
+			defer close(done)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := driveOne(spec, sessions[0], i); err != nil {
+					return
+				}
+				reqs++
+			}
+		}()
+	} else {
+		close(done)
+	}
+	rep, uerr := e.Update(spec.Version(1))
+	close(stop)
+	<-done
+	if uerr != nil {
+		return Figure3Point{}, uerr
 	}
 	return Figure3Point{
 		Connections:          conns,
-		StateTransfer:        rep.StateTransferTime,
+		StateTransfer:        rep.TransferWork(),
 		Quiesce:              rep.QuiesceTime,
 		ControlMigration:     rep.ControlMigrationTime,
+		Downtime:             rep.Downtime,
 		Total:                rep.TotalTime,
 		BytesTransferred:     rep.Transfer.BytesTransferred,
 		DirtyReductionNoConn: rep.Transfer.DirtyReduction(),
+		PrecopyEpochs:        rep.Precopy.Epochs,
+		ShadowFraction:       rep.Transfer.ShadowFraction(),
+		TrafficReqs:          reqs,
 	}, nil
 }
 
@@ -104,6 +163,26 @@ func (r *Figure3Result) Render() string {
 			fmt.Fprintf(&b, "%12s", pt.StateTransfer.Round(10*time.Microsecond))
 		}
 		b.WriteString("\n")
+	}
+	precopied := false
+	for _, s := range r.Series {
+		for _, pt := range s.Points {
+			if pt.PrecopyEpochs > 0 {
+				precopied = true
+			}
+		}
+	}
+	if precopied {
+		b.WriteString("pre-copy under traffic: epochs raced the live workload; shadow% of the\n")
+		b.WriteString("downtime copy was captured before quiescence\n")
+		for _, s := range r.Series {
+			fmt.Fprintf(&b, "%-8s", s.Name)
+			for _, pt := range s.Points {
+				fmt.Fprintf(&b, "  e=%d s=%3.0f%% r=%-3d",
+					pt.PrecopyEpochs, pt.ShadowFraction*100, pt.TrafficReqs)
+			}
+			b.WriteString("\n")
+		}
 	}
 	b.WriteString("paper: 28-187 ms at 0 conns, average +371 ms at 100 conns;\n")
 	b.WriteString("       steeper growth for process-per-connection servers (vsftpd, sshd)\n")

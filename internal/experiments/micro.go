@@ -272,7 +272,7 @@ func RunUpdateTime(cfg Config) (*UpdateTimeResult, error) {
 		}
 		row.QuiesceLoaded = rep.QuiesceTime
 		row.ControlMigration = rep.ControlMigrationTime
-		row.StateTransfer = rep.StateTransferTime
+		row.StateTransfer = rep.TransferWork()
 		row.Total = rep.TotalTime
 		workload.CloseSessions(sessions)
 		e.Shutdown()

@@ -14,6 +14,7 @@ func (as *AddressSpace) Clone() *AddressSpace {
 	out := NewAddressSpace()
 	out.regions = make([]Region, len(as.regions))
 	copy(out.regions, as.regions)
+	out.mutations = as.mutations
 	for pb, p := range as.pages {
 		np := &page{softDirty: p.softDirty, consumed: p.consumed}
 		np.data = p.data
@@ -28,6 +29,7 @@ func (ix *ObjectIndex) Clone() *ObjectIndex {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	out := NewObjectIndex()
+	out.gen = ix.gen
 	for _, o := range ix.byStart {
 		oc := *o
 		out.byStart[oc.Addr] = &oc

@@ -88,6 +88,12 @@ type AddressSpace struct {
 	mu      sync.RWMutex
 	pages   map[Addr]*page // keyed by page base address
 	regions []Region       // sorted by Start
+	// mutations counts every operation that can change what a reader
+	// observes: data stores and region mapping changes. Soft-dirty bit
+	// operations deliberately do not count — they alter tracking state,
+	// not contents — so a pre-copy epoch's read-and-clear pass does not
+	// invalidate a concurrently captured speculative analysis.
+	mutations uint64
 }
 
 // NewAddressSpace returns an empty address space with no mappings.
@@ -113,6 +119,7 @@ func (as *AddressSpace) Map(start Addr, size uint64, kind RegionKind, name strin
 	}
 	as.regions = append(as.regions, Region{Start: start, Size: size, Kind: kind, Name: name})
 	sort.Slice(as.regions, func(i, j int) bool { return as.regions[i].Start < as.regions[j].Start })
+	as.mutations++
 	return nil
 }
 
@@ -128,6 +135,7 @@ func (as *AddressSpace) Unmap(start Addr) error {
 		for pb := pageBase(r.Start); pb < r.End(); pb += PageSize {
 			delete(as.pages, pb)
 		}
+		as.mutations++
 		return nil
 	}
 	return fmt.Errorf("mem: Unmap %#x: %w", start, ErrNoRegion)
@@ -150,6 +158,7 @@ func (as *AddressSpace) GrowRegion(name string, delta uint64) error {
 			}
 		}
 		r.Size += delta
+		as.mutations++
 		return nil
 	}
 	return fmt.Errorf("mem: GrowRegion %q: %w", name, ErrNoRegion)
@@ -206,6 +215,7 @@ func (as *AddressSpace) WriteAt(addr Addr, buf []byte) error {
 	if err := as.checkRangeLocked(addr, uint64(len(buf))); err != nil {
 		return err
 	}
+	as.mutations++
 	for off := 0; off < len(buf); {
 		pb := pageBase(addr + Addr(off))
 		p := as.pages[pb]
@@ -360,6 +370,18 @@ func (as *AddressSpace) RestoreSoftDirty() {
 			p.softDirty = true
 		}
 	}
+}
+
+// Mutations returns the address space's write generation: a counter that
+// advances on every data store and mapping change, and stays put across
+// reads and soft-dirty bit operations. Two equal readings bracket a span
+// in which nothing a reader could observe has changed — the delta query
+// the update engine uses to validate an analysis captured speculatively
+// while the program was still serving.
+func (as *AddressSpace) Mutations() uint64 {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	return as.mutations
 }
 
 // SoftDirtyPages returns the base addresses of all soft-dirty pages in

@@ -71,6 +71,10 @@ type ObjectIndex struct {
 	mu      sync.RWMutex
 	byStart map[Addr]*Object
 	byPage  map[Addr][]*Object // page base -> objects overlapping the page
+	// gen advances on every Insert/Remove: the allocation-delta half of
+	// the speculative-analysis validation (AddressSpace.Mutations is the
+	// data half).
+	gen uint64
 }
 
 // NewObjectIndex returns an empty index.
@@ -101,6 +105,7 @@ func (ix *ObjectIndex) Insert(o *Object) error {
 	for pb := pageBase(o.Addr); pb < o.End(); pb += PageSize {
 		ix.byPage[pb] = append(ix.byPage[pb], o)
 	}
+	ix.gen++
 	return nil
 }
 
@@ -125,7 +130,16 @@ func (ix *ObjectIndex) Remove(addr Addr) (*Object, bool) {
 			delete(ix.byPage, pb)
 		}
 	}
+	ix.gen++
 	return o, true
+}
+
+// Gen returns the index generation, advanced by every Insert and Remove.
+// Equal readings bracket a span with no allocation or deallocation.
+func (ix *ObjectIndex) Gen() uint64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.gen
 }
 
 // At returns the object starting exactly at addr.

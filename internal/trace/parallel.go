@@ -134,6 +134,11 @@ func (pt *procTransfer) discoverParallel(roots []*mem.Object, workers int) ([]*m
 	q := newWorkQueue(initial)
 	locals := make([][]*mem.Object, workers)
 	fails := make([]scanFailure, workers)
+	// Cancellation drains the queue instead of abandoning it: a worker
+	// that returned early would strand the pending count and deadlock the
+	// others in pop, so canceled workers keep popping (skipping the scan,
+	// which also stops new pushes) until the queue runs dry.
+	var canceled atomic.Bool
 	var wg sync.WaitGroup
 	for k := 0; k < workers; k++ {
 		wg.Add(1)
@@ -144,6 +149,11 @@ func (pt *procTransfer) discoverParallel(roots []*mem.Object, workers int) ([]*m
 				o := q.pop()
 				if o == nil {
 					return
+				}
+				if canceled.Load() || pt.canceled() {
+					canceled.Store(true)
+					q.taskDone()
+					continue
 				}
 				err := pt.scanObject(o, &scratch, func(t *mem.Object) {
 					if visited.claim(t.Addr) {
@@ -159,6 +169,9 @@ func (pt *procTransfer) discoverParallel(roots []*mem.Object, workers int) ([]*m
 		}(k)
 	}
 	wg.Wait()
+	if canceled.Load() {
+		return nil, ErrCanceled
+	}
 	var fail scanFailure
 	for _, f := range fails {
 		if f.err != nil {

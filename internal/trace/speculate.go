@@ -1,0 +1,91 @@
+// Speculative update-time analysis: the pipelined update engine runs the
+// conservative pointer analysis while the old version is still serving
+// (overlapped with the pre-copy epochs), then validates it at quiescence
+// against the memory substrate's delta counters. A process that was not
+// written to — and did not allocate or free — between the speculative
+// capture and quiescence has an analysis identical to what a post-quiesce
+// run would produce, so only invalidated processes are re-analyzed inside
+// the downtime window.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/program"
+	"repro/internal/types"
+)
+
+// specEntry is one process's speculative analysis plus the delta-counter
+// capture taken immediately before analyzing it.
+type specEntry struct {
+	an        *Analysis
+	err       error
+	mutations uint64 // AddressSpace.Mutations at capture
+	indexGen  uint64 // ObjectIndex.Gen at capture
+}
+
+// Speculation is an in-flight (or finished) speculative analysis of a
+// still-running instance. Build one with Speculate, then call Resolve
+// after the instance has quiesced.
+type Speculation struct {
+	pol  types.Policy
+	libs map[string]bool
+	done chan struct{}
+	res  map[program.ProcKey]*specEntry // written only by the goroutine, read after done
+}
+
+// Speculate starts analyzing every process of the (still serving)
+// instance in the background. Reads synchronize through each address
+// space's lock, so the walk is race-free; any process written during or
+// after its analysis is detected by Resolve and re-analyzed.
+func Speculate(inst *program.Instance, pol types.Policy, libs map[string]bool) *Speculation {
+	s := &Speculation{
+		pol:  pol,
+		libs: libs,
+		done: make(chan struct{}),
+		res:  make(map[program.ProcKey]*specEntry),
+	}
+	go func() {
+		defer close(s.done)
+		for _, p := range inst.Procs() {
+			// Capture the counters before reading anything: a write that
+			// lands mid-analysis advances them past the capture and fails
+			// validation.
+			e := &specEntry{
+				mutations: p.Space().Mutations(),
+				indexGen:  p.Index().Gen(),
+			}
+			e.an, e.err = AnalyzeProc(p, pol, libs)
+			s.res[p.Key()] = e
+		}
+	}()
+	return s
+}
+
+// Wait blocks until the background analysis finishes (used on early exits
+// so no goroutine outlives the update attempt).
+func (s *Speculation) Wait() { <-s.done }
+
+// Resolve waits for the speculative pass, validates each process's entry
+// against the current delta counters, and re-analyzes every process whose
+// entry is missing, errored or stale. The instance must be quiesced. It
+// returns the per-process analyses and how many were reused as captured.
+func (s *Speculation) Resolve(inst *program.Instance) (map[program.ProcKey]*Analysis, int, error) {
+	<-s.done
+	out := make(map[program.ProcKey]*Analysis)
+	reused := 0
+	for _, p := range inst.Procs() {
+		if e, ok := s.res[p.Key()]; ok && e.err == nil &&
+			e.mutations == p.Space().Mutations() && e.indexGen == p.Index().Gen() {
+			out[p.Key()] = e.an
+			reused++
+			continue
+		}
+		an, err := AnalyzeProc(p, s.pol, s.libs)
+		if err != nil {
+			return nil, reused, fmt.Errorf("trace: analyze %s: %w", p.Key(), err)
+		}
+		out[p.Key()] = an
+	}
+	return out, reused, nil
+}

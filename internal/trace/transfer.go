@@ -19,6 +19,11 @@ import (
 // process counterpart). Conflicts abort the update and trigger rollback.
 var ErrTransferConflict = errors.New("trace: state transfer conflict")
 
+// ErrCanceled is returned by discovery when Options.Cancel fires: the
+// update engine is rolling back for an unrelated reason and wants the
+// in-flight old-side work abandoned promptly.
+var ErrCanceled = errors.New("trace: discovery canceled")
+
 func conflictf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrTransferConflict, fmt.Sprintf(format, args...))
 }
@@ -40,6 +45,10 @@ type Stats struct {
 	// byte is live.
 	BytesFromShadow uint64
 	BytesLive       uint64
+	// TypeCacheHits counts pair() layout/transformation derivations served
+	// from the per-transfer memo instead of recomputed — every object of a
+	// changed type beyond the first is a hit.
+	TypeCacheHits int
 }
 
 // Add accumulates other into s.
@@ -54,6 +63,7 @@ func (s *Stats) Add(other Stats) {
 	s.HandlerInvocations += other.HandlerInvocations
 	s.BytesFromShadow += other.BytesFromShadow
 	s.BytesLive += other.BytesLive
+	s.TypeCacheHits += other.TypeCacheHits
 }
 
 // ShadowFraction returns the fraction of copied bytes the pre-copy
@@ -105,6 +115,11 @@ type Options struct {
 	// run — and serves provably-current shadows instead of locked live
 	// reads. Results stay bit-identical with or without a checkpoint.
 	Shadows func(key program.ProcKey) ShadowReader
+	// Cancel, when non-nil, aborts an in-flight discovery once closed:
+	// workers stop between objects and discovery returns ErrCanceled. The
+	// pipelined update engine closes it when the concurrent RESTART phase
+	// fails, so rollback never waits for a full old-side walk.
+	Cancel <-chan struct{}
 }
 
 // ShadowReader is one process's view of a pre-copy checkpoint
@@ -158,6 +173,43 @@ type pairEntry struct {
 	transform *types.Transformation
 }
 
+// typePair keys the transformation memo by type identity: each version's
+// registry interns one *Type per named type, so pointer equality is exact
+// — every object of the same changed type shares one cache entry.
+type typePair struct{ old, new *types.Type }
+
+// typeDelta is one memoized pair() derivation: the layout comparison and,
+// when layouts differ and both types are known, the Diff outcome.
+type typeDelta struct {
+	equal bool
+	tr    *types.Transformation
+	err   error
+}
+
+// deltaIdentical is the shared result for pointer-identical pairs.
+var deltaIdentical = &typeDelta{equal: true}
+
+// delta returns the memoized layout/transformation derivation for one
+// (oldType, newType) pair, counting reuses in Stats.TypeCacheHits.
+func (pt *procTransfer) delta(oldT, newT *types.Type) *typeDelta {
+	if oldT == newT {
+		// Same interned type object (or both untyped): trivially equal;
+		// not worth a cache entry or a hit count.
+		return deltaIdentical
+	}
+	key := typePair{oldT, newT}
+	if d, ok := pt.typeCache[key]; ok {
+		pt.stats.TypeCacheHits++
+		return d
+	}
+	d := &typeDelta{equal: types.LayoutEqual(oldT, newT)}
+	if !d.equal && oldT != nil && newT != nil {
+		d.tr, d.err = types.Diff(oldT, newT)
+	}
+	pt.typeCache[key] = d
+	return d
+}
+
 // procTransfer transfers one old process's state into its new counterpart.
 type procTransfer struct {
 	oldProc *program.Proc
@@ -170,6 +222,12 @@ type procTransfer struct {
 	dirty     map[mem.Addr]bool           // old objects overlapping soft-dirty pages
 	bySiteSeq map[mem.PlanKey]*mem.Object // new-version heap objects
 
+	// typeCache memoizes the per-(oldType, newType) layout comparison and
+	// transformation pair() derives: a heap full of objects of one changed
+	// type costs one Diff, not one per object. Only pair() (sequential)
+	// touches it, so no lock.
+	typeCache map[typePair]*typeDelta
+
 	// Pre-copy checkpoint state (nil / empty without one): the shadow
 	// reader, and the pages still soft-dirty at quiescence — a shadow is
 	// current iff none of its object's pages appear here.
@@ -179,23 +237,27 @@ type procTransfer struct {
 	stats Stats
 }
 
-// TransferProc transfers the state of oldProc into newProc. The analysis
-// must come from AnalyzeProc on oldProc with the same policy.
-func TransferProc(oldProc, newProc *program.Proc, an *Analysis, opts Options) (Stats, error) {
+// ProcDiscovery is the old-side half of one process's state transfer: the
+// dirty-set computation and the reachability walk, which read only the
+// quiesced old process. The pipelined update engine produces it while the
+// new version is still starting up; Complete then pairs and copies into
+// the new process the moment it exists.
+type ProcDiscovery struct {
+	pt        *procTransfer
+	reachable []*mem.Object
+}
+
+// DiscoverProc runs the old-side half of a transfer: it snapshots the
+// dirty-object set (unioning any pre-copy checkpoint's consumed pages)
+// and walks the reachable object graph. The new version does not need to
+// exist yet.
+func DiscoverProc(oldProc *program.Proc, opts Options) (*ProcDiscovery, error) {
 	pt := &procTransfer{
 		oldProc:   oldProc,
-		newProc:   newProc,
-		an:        an,
 		opts:      opts,
-		ann:       newProc.Instance().Version().Annotations,
 		pairs:     make(map[mem.Addr]*pairEntry),
 		dirty:     make(map[mem.Addr]bool),
-		bySiteSeq: make(map[mem.PlanKey]*mem.Object),
-	}
-	for _, o := range newProc.Index().All() {
-		if o.Kind == mem.ObjHeap && o.Site != 0 {
-			pt.bySiteSeq[mem.PlanKey{Site: o.Site, Seq: o.Seq}] = o
-		}
+		typeCache: make(map[typePair]*typeDelta),
 	}
 	if opts.Shadows != nil {
 		pt.shadow = opts.Shadows(oldProc.Key())
@@ -219,15 +281,44 @@ func TransferProc(oldProc, newProc *program.Proc, an *Analysis, opts Options) (S
 	}
 	reachable, err := pt.discover()
 	if err != nil {
+		return nil, err
+	}
+	return &ProcDiscovery{pt: pt, reachable: reachable}, nil
+}
+
+// Complete finishes the transfer against the new process: pair every
+// reachable object with its counterpart and copy the contents. The
+// analysis must come from AnalyzeProc on the old process with the same
+// policy the discovery ran under.
+func (d *ProcDiscovery) Complete(newProc *program.Proc, an *Analysis) (Stats, error) {
+	pt := d.pt
+	pt.newProc = newProc
+	pt.an = an
+	pt.ann = newProc.Instance().Version().Annotations
+	pt.bySiteSeq = make(map[mem.PlanKey]*mem.Object)
+	for _, o := range newProc.Index().All() {
+		if o.Kind == mem.ObjHeap && o.Site != 0 {
+			pt.bySiteSeq[mem.PlanKey{Site: o.Site, Seq: o.Seq}] = o
+		}
+	}
+	if err := pt.pair(d.reachable); err != nil {
 		return pt.stats, err
 	}
-	if err := pt.pair(reachable); err != nil {
-		return pt.stats, err
-	}
-	if err := pt.copyContents(reachable); err != nil {
+	if err := pt.copyContents(d.reachable); err != nil {
 		return pt.stats, err
 	}
 	return pt.stats, nil
+}
+
+// TransferProc transfers the state of oldProc into newProc. The analysis
+// must come from AnalyzeProc on oldProc with the same policy. It is the
+// unpipelined composition of DiscoverProc and Complete.
+func TransferProc(oldProc, newProc *program.Proc, an *Analysis, opts Options) (Stats, error) {
+	d, err := DiscoverProc(oldProc, opts)
+	if err != nil {
+		return Stats{}, err
+	}
+	return d.Complete(newProc, an)
 }
 
 // discover walks the old object graph from the roots (static, stack and
@@ -323,6 +414,19 @@ func (pt *procTransfer) scanObject(o *mem.Object, scratch *[]byte, visit func(*m
 	return nil
 }
 
+// canceled reports whether Options.Cancel has fired.
+func (pt *procTransfer) canceled() bool {
+	if pt.opts.Cancel == nil {
+		return false
+	}
+	select {
+	case <-pt.opts.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
 // discoverSeq is the single-worker BFS. Like the parallel traversal it
 // completes the walk even past scan failures (a failed object contributes
 // no successors either way) and reports the lowest-address failure, so a
@@ -343,6 +447,9 @@ func (pt *procTransfer) discoverSeq(roots []*mem.Object) ([]*mem.Object, error) 
 	var scratch []byte
 	var fail scanFailure
 	for len(queue) > 0 {
+		if pt.canceled() {
+			return nil, ErrCanceled
+		}
 		o := queue[0]
 		queue = queue[1:]
 		out = append(out, o)
@@ -454,7 +561,7 @@ func (pt *procTransfer) pair(reachable []*mem.Object) error {
 		// invariant: the annotation asserts knowledge of the hidden
 		// pointers the conservative analysis flagged (§3, Listing 1).
 		oldT, newT := o.Type, e.newObj.Type
-		if !types.LayoutEqual(oldT, newT) {
+		if d := pt.delta(oldT, newT); !d.equal {
 			_, hasHandler := pt.ann.ObjHandler(o.Name)
 			if pt.an.Nonupdatable[o.Addr] && !hasHandler {
 				return conflictf("nonupdatable object %s changed type %s -> %s", o, oldT, newT)
@@ -462,11 +569,10 @@ func (pt *procTransfer) pair(reachable []*mem.Object) error {
 			if oldT == nil || newT == nil {
 				return conflictf("object %s lost/gained type information (%s -> %s)", o, oldT, newT)
 			}
-			tr, err := types.Diff(oldT, newT)
-			if err != nil && !hasHandler {
-				return conflictf("object %s: %v", o, err)
+			if d.err != nil && !hasHandler {
+				return conflictf("object %s: %v", o, d.err)
 			}
-			e.transform = tr
+			e.transform = d.tr
 			pt.stats.TypeTransformed++
 		}
 	}
@@ -624,18 +730,26 @@ func (pt *procTransfer) transferObject(e *pairEntry, scratch *[]byte, st *Stats)
 		pt.remapInBuf(buf, n.Type)
 		return newAS.WriteAt(n.Addr, buf)
 	}
-	// Layout changed: apply the field map (always read live — transformed
-	// objects are a small minority and the field copies are scattered).
+	// Layout changed: apply the field map. When a provably-current
+	// pre-copy shadow covers the object, the scattered field reads are
+	// served from it instead of the locked live address space — the bytes
+	// are identical either way (shadow currency implies no write since
+	// capture).
+	shadow, fromShadow := pt.shadowFor(o)
 	tr := e.transform
 	for _, c := range tr.Copies {
-		if err := pt.copyField(o, n, c); err != nil {
+		if err := pt.copyField(o, n, c, shadow); err != nil {
 			return err
 		}
 	}
 	// Attributed at object granularity, like BytesTransferred, so the
 	// shadow/live split always sums to the transferred total even when
 	// the field map covers only part of the object.
-	st.BytesLive += o.Size
+	if fromShadow {
+		st.BytesFromShadow += o.Size
+	} else {
+		st.BytesLive += o.Size
+	}
 	return nil
 }
 
@@ -662,15 +776,26 @@ func (pt *procTransfer) remapInBuf(buf []byte, t *types.Type) {
 }
 
 // copyField applies one FieldCopy, handling integer resizing, pointer
-// remapping and nested aggregates.
-func (pt *procTransfer) copyField(o, n *mem.Object, c types.FieldCopy) error {
-	oldAS, newAS := pt.oldProc.Space(), pt.newProc.Space()
-	srcAddr := o.Addr + mem.Addr(c.SrcOffset)
+// remapping and nested aggregates. When shadow (the object's current
+// pre-copy capture, starting at the object base) is non-nil, source bytes
+// come from it instead of a locked live read.
+func (pt *procTransfer) copyField(o, n *mem.Object, c types.FieldCopy, shadow []byte) error {
+	newAS := pt.newProc.Space()
 	dstAddr := n.Addr + mem.Addr(c.DstOffset)
+	readSrc := func() ([]byte, error) {
+		if shadow != nil && c.SrcOffset+c.SrcSize <= uint64(len(shadow)) {
+			return shadow[c.SrcOffset : c.SrcOffset+c.SrcSize], nil
+		}
+		buf := make([]byte, c.SrcSize)
+		if err := pt.oldProc.Space().ReadAt(o.Addr+mem.Addr(c.SrcOffset), buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
 	switch {
 	case c.SrcSize == c.DstSize:
-		buf := make([]byte, c.SrcSize)
-		if err := oldAS.ReadAt(srcAddr, buf); err != nil {
+		buf, err := readSrc()
+		if err != nil {
 			return err
 		}
 		if err := newAS.WriteAt(dstAddr, buf); err != nil {
@@ -685,8 +810,8 @@ func (pt *procTransfer) copyField(o, n *mem.Object, c types.FieldCopy) error {
 		return nil
 	default:
 		// Integer resize with optional sign extension.
-		buf := make([]byte, c.SrcSize)
-		if err := oldAS.ReadAt(srcAddr, buf); err != nil {
+		buf, err := readSrc()
+		if err != nil {
 			return err
 		}
 		var v uint64
@@ -752,30 +877,67 @@ func (pt *procTransfer) remapWord(addr mem.Addr) error {
 	return newAS.WriteWord(addr, nv)
 }
 
-// TransferInstance transfers every old process into its new counterpart,
-// matched by creation key, running the per-process transfers in parallel
-// (§6: "fully parallelizing the state transfer operations in a
-// multiprocess context"). Each per-process transfer additionally uses
-// intra-process workers, so single-process programs with large heaps
-// scale too: an explicit opts.Parallelism applies per process, while the
-// default (0) splits the GOMAXPROCS budget across the concurrent
-// per-process transfers so a many-process instance does not oversubscribe
-// the CPU. It returns aggregated statistics.
-func TransferInstance(oldInst, newInst *program.Instance, analyses map[program.ProcKey]*Analysis, opts Options) (Stats, error) {
-	oldProcs := oldInst.Procs()
-	if opts.Parallelism == 0 && len(oldProcs) > 1 {
-		if w := runtime.GOMAXPROCS(0) / len(oldProcs); w > 0 {
+// resolveParallelism fixes the per-process worker budget: an explicit
+// opts.Parallelism applies per process, while the default (0) splits the
+// GOMAXPROCS budget across the concurrent per-process transfers so a
+// many-process instance does not oversubscribe the CPU. Discovery and
+// completion must resolve identically, or the two halves of a pipelined
+// transfer would disagree with the unpipelined engine.
+func resolveParallelism(opts Options, procs int) Options {
+	if opts.Parallelism == 0 && procs > 1 {
+		if w := runtime.GOMAXPROCS(0) / procs; w > 0 {
 			opts.Parallelism = w
 		} else {
 			opts.Parallelism = 1
 		}
 	}
-	// Resolve every pairing before spawning any transfer: a missing
-	// counterpart must not leave already-started transfers mutating the
-	// new instance behind the caller's back while it rolls back.
-	newProcs := make([]*program.Proc, len(oldProcs))
-	procAnalyses := make([]*Analysis, len(oldProcs))
+	return opts
+}
+
+// InstanceDiscovery is the old-side half of a whole-instance transfer:
+// every process's dirty set and reachable graph, computed against the
+// quiesced old version only. The pipelined update engine runs it
+// concurrently with the new version's RESTART phase.
+type InstanceDiscovery struct {
+	procs []*program.Proc // old processes, in Procs() order
+	discs []*ProcDiscovery
+}
+
+// DiscoverInstance runs the old-side discovery of every process in
+// parallel (§6: "fully parallelizing the state transfer operations in a
+// multiprocess context"). On any failure the first error in process
+// order is returned, so a conflicting discovery is reproducible.
+func DiscoverInstance(oldInst *program.Instance, opts Options) (*InstanceDiscovery, error) {
+	oldProcs := oldInst.Procs()
+	opts = resolveParallelism(opts, len(oldProcs))
+	discs := make([]*ProcDiscovery, len(oldProcs))
+	errs := make([]error, len(oldProcs))
+	var wg sync.WaitGroup
 	for i, op := range oldProcs {
+		wg.Add(1)
+		go func(i int, op *program.Proc) {
+			defer wg.Done()
+			discs[i], errs[i] = DiscoverProc(op, opts)
+		}(i, op)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &InstanceDiscovery{procs: oldProcs, discs: discs}, nil
+}
+
+// Complete pairs and copies every discovered process into its new-version
+// counterpart, matched by creation key, and returns aggregated statistics.
+// Every pairing (and analysis) is resolved before any transfer starts: a
+// missing counterpart must not leave already-started transfers mutating
+// the new instance behind the caller's back while it rolls back.
+func (id *InstanceDiscovery) Complete(newInst *program.Instance, analyses map[program.ProcKey]*Analysis) (Stats, error) {
+	newProcs := make([]*program.Proc, len(id.procs))
+	procAnalyses := make([]*Analysis, len(id.procs))
+	for i, op := range id.procs {
 		np, ok := newInst.ProcByKey(op.Key())
 		if !ok {
 			return Stats{}, conflictf("no new-version process for %s", op.Key())
@@ -790,15 +952,15 @@ func TransferInstance(oldInst, newInst *program.Instance, analyses map[program.P
 		stats Stats
 		err   error
 	}
-	results := make([]result, len(oldProcs))
+	results := make([]result, len(id.procs))
 	var wg sync.WaitGroup
-	for i, op := range oldProcs {
+	for i := range id.procs {
 		wg.Add(1)
-		go func(i int, op *program.Proc) {
+		go func(i int) {
 			defer wg.Done()
-			s, err := TransferProc(op, newProcs[i], procAnalyses[i], opts)
+			s, err := id.discs[i].Complete(newProcs[i], procAnalyses[i])
 			results[i] = result{stats: s, err: err}
-		}(i, op)
+		}(i)
 	}
 	wg.Wait()
 	var total Stats
@@ -809,4 +971,15 @@ func TransferInstance(oldInst, newInst *program.Instance, analyses map[program.P
 		total.Add(r.stats)
 	}
 	return total, nil
+}
+
+// TransferInstance transfers every old process into its new counterpart:
+// the unpipelined composition of DiscoverInstance and Complete, used by
+// the sequential update engine and anywhere both instances already exist.
+func TransferInstance(oldInst, newInst *program.Instance, analyses map[program.ProcKey]*Analysis, opts Options) (Stats, error) {
+	id, err := DiscoverInstance(oldInst, opts)
+	if err != nil {
+		return Stats{}, err
+	}
+	return id.Complete(newInst, analyses)
 }
