@@ -27,6 +27,7 @@ func main() {
 		dirty       = flag.Bool("dirtystats", false, "dirty-filter reduction")
 		ckpt        = flag.Bool("checkpoint", false, "pre-copy checkpoint: downtime vs dirty ratio")
 		downtime    = flag.Bool("downtime", false, "pipelined vs sequential engine: downtime breakdown (always runs both engines with pre-copy armed; -sequential/-precopy do not apply)")
+		warm        = flag.Bool("warm", false, "warm-standby readiness daemon: request->commit latency warm vs cold, plus the fork-heavy per-process revalidation scenario")
 		all         = flag.Bool("all", false, "run every experiment")
 		full        = flag.Bool("full", false, "paper-scale parameters (slow)")
 		reps        = flag.Int("reps", 3, "repetitions for Table 3 (best-of)")
@@ -46,6 +47,7 @@ func main() {
 		Dirty:       *dirty,
 		Checkpoint:  *ckpt,
 		Downtime:    *downtime,
+		Warm:        *warm,
 		All:         *all,
 		Full:        *full,
 		Reps:        *reps,

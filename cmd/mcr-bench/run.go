@@ -22,6 +22,7 @@ type config struct {
 	Dirty       bool
 	Checkpoint  bool
 	Downtime    bool
+	Warm        bool
 	All         bool
 	Full        bool
 	Reps        int
@@ -111,6 +112,19 @@ func run(cfg config, out io.Writer) error {
 			return fmt.Errorf("downtime: %w", err)
 		}
 		fmt.Fprintln(out, res.Render())
+	}
+	if cfg.All || cfg.Warm {
+		ran = true
+		res, err := experiments.RunWarm(ecfg)
+		if err != nil {
+			return fmt.Errorf("warm: %w", err)
+		}
+		fmt.Fprintln(out, res.Render())
+		forks, err := experiments.RunWarmForks(ecfg)
+		if err != nil {
+			return fmt.Errorf("warm forks: %w", err)
+		}
+		fmt.Fprintln(out, forks.Render())
 	}
 	if cfg.All || cfg.Memory {
 		ran = true

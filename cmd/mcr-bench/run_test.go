@@ -48,3 +48,21 @@ func TestRunDowntimeExperiment(t *testing.T) {
 		}
 	}
 }
+
+func TestRunWarmExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run(config{Warm: true, Reps: 1}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Warm-standby readiness daemon",
+		"latency reduction",
+		"fork-heavy",
+		"per-process reanalyses",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in warm output:\n%s", want, got)
+		}
+	}
+}

@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	mcr-ctl -server nginx -updates 3 [-parallelism N] [-precopy [-epochs N]] [-sequential]
+//	mcr-ctl -server nginx -updates 3 [-parallelism N] [-precopy [-epochs N]] [-sequential] [-warm]
 package main
 
 import (
@@ -28,11 +28,12 @@ func main() {
 		precopy     = flag.Bool("precopy", false, "arm the incremental pre-copy checkpoint engine")
 		epochs      = flag.Int("epochs", 0, "pre-copy epoch bound (0 = default; requires -precopy)")
 		sequential  = flag.Bool("sequential", false, "use the strictly-ordered update engine (pipelining off)")
+		warm        = flag.Bool("warm", false, "arm the warm-standby readiness daemon (updates start at quiesce; shows the warm status line)")
 	)
 	flag.Parse()
 
 	cfg := config{Server: *server, Updates: *updates, Parallelism: *parallelism,
-		Precopy: *precopy, Epochs: *epochs, Sequential: *sequential}
+		Precopy: *precopy, Epochs: *epochs, Sequential: *sequential, Warm: *warm}
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mcr-ctl:", err)
 		if errors.Is(err, errUsage) {

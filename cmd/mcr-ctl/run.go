@@ -26,6 +26,7 @@ type config struct {
 	Precopy     bool // arm the incremental pre-copy checkpoint engine
 	Epochs      int  // pre-copy epoch bound (0 = checkpoint default)
 	Sequential  bool // strictly-ordered update engine (pipelining off)
+	Warm        bool // arm the warm-standby readiness daemon
 }
 
 // run executes the whole scenario — launch, stage, update, verify the
@@ -60,6 +61,7 @@ func run(cfg config, out io.Writer) error {
 		Precopy:       cfg.Precopy,
 		PrecopyEpochs: cfg.Epochs,
 		Sequential:    cfg.Sequential,
+		Warm:          cfg.Warm,
 	})
 	if _, err := engine.Launch(spec.Version(0)); err != nil {
 		return fmt.Errorf("launch: %w", err)
@@ -100,18 +102,39 @@ func run(cfg config, out io.Writer) error {
 	if err := send("status"); err != nil {
 		return err
 	}
+	if cfg.Warm {
+		// Give the daemon a moment to absorb the startup traffic, then show
+		// the readiness line (shadow currency + analysis generation).
+		engine.WarmWait(5 * time.Second)
+		if err := send("warm status"); err != nil {
+			return err
+		}
+	}
 	for i := 1; i <= updates; i++ {
+		if cfg.Warm && i > 1 {
+			// Let the freshly re-armed daemon catch up before the next
+			// request, so every update takes the warm fast path.
+			engine.WarmWait(5 * time.Second)
+		}
 		if err := send("update " + spec.Version(i).Release); err != nil {
 			return err
 		}
 		if err := send("status"); err != nil {
 			return err
 		}
+		if cfg.Warm {
+			if err := send("warm status"); err != nil {
+				return err
+			}
+		}
 		if hist := engine.History(); len(hist) > 0 {
 			rep := hist[len(hist)-1]
 			engineName := "pipelined"
 			if !rep.Pipelined {
 				engineName = "sequential"
+			}
+			if rep.Warm {
+				engineName = "warm " + engineName
 			}
 			fmt.Fprintf(out, "  downtime: %s (%s engine; %d/%d analyses reused)\n",
 				rep.Downtime.Round(10*time.Microsecond), engineName,
@@ -137,6 +160,16 @@ func run(cfg config, out io.Writer) error {
 			return fmt.Errorf("session died after update %d: %w", i, err)
 		}
 		fmt.Fprintf(out, "  client session alive: %s\n", resp)
+	}
+	if cfg.Warm {
+		// Operator disarm: hands every consumed bit back and stops the
+		// daemon; status confirms.
+		if err := send("warm off"); err != nil {
+			return err
+		}
+		if err := send("warm status"); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintln(out, "done: all updates deployed live; the client session never reconnected")
 	return nil

@@ -92,6 +92,27 @@ func TestRunSequentialEngineDeploysUpdate(t *testing.T) {
 	}
 }
 
+func TestRunWarmDeploysUpdateAndShowsReadiness(t *testing.T) {
+	var out strings.Builder
+	if err := run(config{Server: "nginx", Updates: 1, Warm: true}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"warm=armed",   // readiness line before and after the update
+		"lag=",         // shadow currency
+		"agen=",        // analysis generation
+		"warm pipelined engine",
+		"OK warm disarmed", // operator disarm at the end
+		"warm=disarmed",
+		"done: all updates deployed live",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
 func TestRunPipelinedReportsDowntime(t *testing.T) {
 	var out strings.Builder
 	if err := run(config{Server: "nginx", Updates: 1, Precopy: true}, &out); err != nil {

@@ -52,6 +52,11 @@ type Options struct {
 	// Interval pauses between epochs so the running version's writes can
 	// accumulate (default 0: back-to-back epochs).
 	Interval time.Duration
+	// NoEpochHistory drops the per-epoch history (Stats.PerEpoch stays
+	// empty; the scalar totals still accumulate). The warm-standby daemon
+	// sets it: a snapshotter that runs epochs for hours must not grow an
+	// unbounded slice that every Stats() copy then drags along.
+	NoEpochHistory bool
 }
 
 func (o *Options) fill() {
@@ -148,7 +153,9 @@ func (s *Snapshotter) Epoch() EpochStats {
 	s.stats.PagesCopied += es.DirtyPages
 	s.stats.ObjectsCopied += es.ObjectsCopied
 	s.stats.BytesCopied += es.BytesCopied
-	s.stats.PerEpoch = append(s.stats.PerEpoch, es)
+	if !s.opts.NoEpochHistory {
+		s.stats.PerEpoch = append(s.stats.PerEpoch, es)
+	}
 	s.mu.Unlock()
 	return es
 }

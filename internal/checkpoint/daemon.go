@@ -1,0 +1,221 @@
+package checkpoint
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// DaemonOptions configures the warm-standby readiness daemon.
+type DaemonOptions struct {
+	// Interval is the base pause between warm passes (default 2ms). Each
+	// pass is one staleness poll, at most one pre-copy epoch, and one
+	// incremental analysis refresh.
+	Interval time.Duration
+	// DutyCycle bounds the fraction of wall clock the daemon may spend
+	// doing warm work (default 0.25): after a pass that took d, the next
+	// pass starts no sooner than d*(1-DutyCycle)/DutyCycle later. This is
+	// the backpressure that keeps warm epochs from starving the serving
+	// workload — a heavy pass automatically stretches the pause.
+	DutyCycle float64
+	// MinDirtyPages is the staleness threshold below which a pass skips
+	// the shadow epoch (default 1: any dirty page triggers one). The
+	// poll uses the count-only soft-dirty query, so an up-to-date
+	// instance costs one counter sweep per pass.
+	MinDirtyPages int
+}
+
+func (o *DaemonOptions) fill() {
+	if o.Interval <= 0 {
+		o.Interval = 2 * time.Millisecond
+	}
+	if o.DutyCycle <= 0 || o.DutyCycle > 1 {
+		o.DutyCycle = 0.25
+	}
+	if o.MinDirtyPages <= 0 {
+		o.MinDirtyPages = 1
+	}
+}
+
+// DaemonStats summarizes a daemon's warm work so far.
+type DaemonStats struct {
+	Passes      int // warm passes (poll + optional epoch + refresh)
+	Epochs      int // shadow epochs run (staleness at or above threshold)
+	Skipped     int // passes that found the shadows current
+	PagesCopied int // dirty pages consumed by warm epochs
+	Reanalyzed  int // warm-analysis recomputations (per-process)
+	Revalidated int // processes revalidated for free against the deltas
+	Dropped     int // entries dropped for exited processes
+	Errors      int // analysis failures (entry invalidated, daemon continues)
+}
+
+// Daemon is the warm-standby readiness loop: between updates it keeps a
+// long-lived Snapshotter's per-process shadows continuously current
+// against the soft-dirty bits and a trace.WarmAnalysis incrementally
+// revalidated against the memory delta counters, so an update can begin
+// at quiescence with the pre-quiesce work already done. The engine stops
+// the daemon when an update starts and adopts its snapshotter and
+// analysis; Discard semantics are unchanged — a rollback hands every
+// consumed soft-dirty bit back exactly as with in-call pre-copy.
+type Daemon struct {
+	inst *program.Instance
+	snap *Snapshotter
+	warm *trace.WarmAnalysis
+	opts DaemonOptions
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	mu    sync.Mutex
+	stats DaemonStats
+}
+
+// StartDaemon builds a snapshotter over the running instance and starts
+// the warm loop. The instance keeps serving throughout; epochs and
+// analysis reads synchronize through the address-space locks.
+func StartDaemon(inst *program.Instance, warm *trace.WarmAnalysis, opts DaemonOptions) *Daemon {
+	opts.fill()
+	d := &Daemon{
+		inst: inst,
+		snap: New(inst, Options{NoEpochHistory: true}),
+		warm: warm,
+		opts: opts,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go d.loop()
+	return d
+}
+
+func (d *Daemon) loop() {
+	defer close(d.done)
+	for {
+		select {
+		case <-d.stop:
+			return
+		default:
+		}
+		t0 := time.Now()
+		d.pass()
+		took := time.Since(t0)
+		// Backpressure: a pass that took d leaves the workload at least
+		// d*(1-duty)/duty of uncontended time before the next one.
+		pause := d.opts.Interval
+		if min := time.Duration(float64(took) * (1 - d.opts.DutyCycle) / d.opts.DutyCycle); min > pause {
+			pause = min
+		}
+		select {
+		case <-d.stop:
+			return
+		case <-time.After(pause):
+		}
+	}
+}
+
+// pass runs one warm iteration: poll staleness, run a shadow epoch if the
+// dirty set crossed the threshold, then refresh the warm analysis.
+func (d *Daemon) pass() {
+	stale := d.ShadowLag()
+	var es EpochStats
+	ranEpoch := false
+	if stale >= d.opts.MinDirtyPages {
+		es = d.snap.Epoch()
+		ranEpoch = true
+	}
+	rs := d.warm.Refresh(d.inst)
+
+	d.mu.Lock()
+	d.stats.Passes++
+	if ranEpoch {
+		d.stats.Epochs++
+		d.stats.PagesCopied += es.DirtyPages
+	} else {
+		d.stats.Skipped++
+	}
+	d.stats.Reanalyzed += rs.Reanalyzed
+	d.stats.Revalidated += rs.Revalidated
+	d.stats.Dropped += rs.Dropped
+	d.stats.Errors += rs.Errors
+	d.mu.Unlock()
+}
+
+// Stop halts the warm loop and waits for any in-flight pass to finish.
+// Safe to call more than once and safe mid-epoch: the loop only observes
+// the signal between passes, so the snapshotter and analysis are always
+// left in a consistent state for the engine to adopt. Stop does NOT
+// discard the snapshotter — consumed-bit ownership transfers to the
+// caller (the update engine defers Discard itself).
+func (d *Daemon) Stop() {
+	d.stopOnce.Do(func() { close(d.stop) })
+	<-d.done
+}
+
+// Snapshot returns the daemon's long-lived snapshotter. Meaningful to
+// adopt only after Stop.
+func (d *Daemon) Snapshot() *Snapshotter { return d.snap }
+
+// Warm returns the daemon's warm analysis. Meaningful to adopt only
+// after Stop.
+func (d *Daemon) Warm() *trace.WarmAnalysis { return d.warm }
+
+// Stats returns a snapshot of the daemon's accumulated statistics.
+func (d *Daemon) Stats() DaemonStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Current reports instantaneous readiness: the shadow lag is below the
+// epoch threshold and every live process's warm analysis validates
+// against the delta counters right now. Both probes are counter
+// comparisons — no copy or analysis work — so Current is cheap to poll
+// and cannot return stale truth the way a last-pass flag would (a write
+// landing after a pass flips it back to false immediately).
+func (d *Daemon) Current() bool {
+	return d.ShadowLag() < d.opts.MinDirtyPages && !d.warm.Stale(d.inst)
+}
+
+// WaitCurrent blocks until the daemon reports Current (the shadows and
+// analysis have caught up with the workload) or the timeout elapses.
+func (d *Daemon) WaitCurrent(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if d.Current() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		select {
+		case <-d.done:
+			return d.Current()
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
+// ShadowLag returns the instantaneous shadow currency gap: the number of
+// soft-dirty pages across all live processes that no epoch has consumed
+// yet (0 = every post-startup write is shadowed). Uses the count-only
+// staleness query, so polling it is cheap.
+func (d *Daemon) ShadowLag() int {
+	n := 0
+	for _, p := range d.inst.Procs() {
+		n += p.Space().SoftDirtyCount()
+	}
+	return n
+}
+
+// ShadowCoverage returns how many pages the daemon's epochs have
+// consumed into shadows so far (the coverage half of the staleness
+// query, next to ShadowLag's currency half).
+func (d *Daemon) ShadowCoverage() int {
+	n := 0
+	for _, p := range d.inst.Procs() {
+		n += p.Space().ConsumedCount()
+	}
+	return n
+}

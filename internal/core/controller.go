@@ -104,7 +104,33 @@ func (c *Controller) dispatch(req string) string {
 		if inst == nil {
 			return "ERR not running"
 		}
-		return fmt.Sprintf("OK %s procs=%d", inst.Version(), len(inst.Procs()))
+		out := fmt.Sprintf("OK %s procs=%d", inst.Version(), len(inst.Procs()))
+		if ws := c.engine.WarmStatus(); ws.Armed {
+			out += " " + warmLine(ws)
+		}
+		return out
+	case "warm":
+		if len(fields) != 2 {
+			return "ERR usage: warm <on|off|status>"
+		}
+		switch fields[1] {
+		case "on":
+			if err := c.engine.ArmWarm(); err != nil {
+				return fmt.Sprintf("ERR %v", err)
+			}
+			return "OK warm armed"
+		case "off":
+			c.engine.DisarmWarm()
+			return "OK warm disarmed"
+		case "status":
+			ws := c.engine.WarmStatus()
+			if !ws.Armed {
+				return "OK warm=disarmed"
+			}
+			return "OK " + warmLine(ws)
+		default:
+			return "ERR usage: warm <on|off|status>"
+		}
 	case "update":
 		if len(fields) != 2 {
 			return "ERR usage: update <release>"
@@ -125,6 +151,14 @@ func (c *Controller) dispatch(req string) string {
 	default:
 		return fmt.Sprintf("ERR unknown command %q", fields[0])
 	}
+}
+
+// warmLine renders the warm-standby readiness for status responses:
+// shadow currency (unshadowed dirty pages) and the analysis generation,
+// plus the work tally behind them.
+func warmLine(ws WarmStatus) string {
+	return fmt.Sprintf("warm=armed current=%v lag=%dpages shadowed=%dpages agen=%d epochs=%d reanalyzed=%d revalidated=%d",
+		ws.Current, ws.ShadowLag, ws.ShadowedPages, ws.AnalysisGen, ws.Epochs, ws.Reanalyzed, ws.Revalidated)
 }
 
 // CtlRequest sends one mcr-ctl request over the simulated kernel and

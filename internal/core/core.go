@@ -73,6 +73,20 @@ type Options struct {
 	// engine overlaps the independent phases and produces bit-identical
 	// results.
 	Sequential bool
+	// Warm arms the warm-standby readiness daemon: between updates a
+	// background loop keeps per-process shadow buffers continuously
+	// current against the soft-dirty bits (low-rate pre-copy epochs with
+	// duty-cycle backpressure) and a warm conservative analysis
+	// incrementally revalidated against the memory delta counters. Update
+	// then skips the in-call pre-copy/speculation phases entirely — the
+	// request starts at quiescence — and runs only the handoff epoch and
+	// per-process validation inside the window. While warm, Precopy is
+	// subsumed (the daemon's epochs replace the in-call loop). Transfer
+	// results stay bit-identical warm or cold.
+	Warm bool
+	// WarmInterval paces the daemon's warm passes (0 = daemon default).
+	// Only meaningful with Warm.
+	WarmInterval time.Duration
 	// BeforeQuiesce, when set, is invoked after the pre-copy epochs (if
 	// any) and immediately before quiescence begins — the last moment the
 	// old version's state can change. Operators can log or snapshot here;
@@ -107,8 +121,8 @@ type UpdateReport struct {
 	QuiesceTime          time.Duration // checkpoint: barrier convergence
 	AnalysisTime         time.Duration // in-window analysis (validation + re-analysis when pipelined)
 	ControlMigrationTime time.Duration // restart: v2 startup under replay
-	DiscoveryTime        time.Duration // old-side discovery (+ handoff epoch); overlapped with restart when pipelined
-	StateTransferTime    time.Duration // remap: pair + copy (pipelined) or the whole transfer (sequential)
+	DiscoveryTime        time.Duration // old-side discovery (+ handoff epoch when pipelined); overlapped with restart when pipelined, in-window when sequential
+	StateTransferTime    time.Duration // remap: pair + copy (both engines; discovery is split out above)
 	// Downtime is the service-unavailable window: from the moment
 	// quiescence is initiated to the moment the new version resumes. The
 	// pipelined engine exists to shrink exactly this number.
@@ -121,6 +135,16 @@ type UpdateReport struct {
 	AnalysesReused  int
 	ProcsReanalyzed int
 
+	// Warm reports that the update started from the warm-standby daemon's
+	// state: the in-call pre-copy and speculation phases were skipped and
+	// the request effectively began at quiescence. WarmDaemon is the
+	// daemon's accumulated warm work at disarm; WarmReanalyses is the
+	// per-process analysis-recomputation tally across the serving window
+	// plus the in-window validation (the fork-heavy skew evidence).
+	Warm           bool
+	WarmDaemon     checkpoint.DaemonStats
+	WarmReanalyses map[program.ProcKey]int
+
 	Replayed, LiveExecuted, Conflicted int
 	Transfer                           trace.Stats
 	Precopy                            checkpoint.Stats
@@ -131,11 +155,10 @@ type UpdateReport struct {
 }
 
 // TransferWork returns the total mutable-tracing wall clock: discovery
-// plus pair/copy. The sequential engine reports all of it in
-// StateTransferTime, while the pipelined engine splits discovery out into
-// DiscoveryTime (overlapped with RESTART) — so paper-comparison columns
-// ("state transfer time") must use this sum to stay comparable across
-// engines and PRs.
+// plus pair/copy. Both engines split discovery into DiscoveryTime (the
+// pipelined engine overlaps it with RESTART; the sequential engine pays
+// it in-window) — paper-comparison columns ("state transfer time") must
+// use this sum to stay comparable across engines and PRs.
 func (r *UpdateReport) TransferWork() time.Duration {
 	return r.DiscoveryTime + r.StateTransferTime
 }
@@ -145,15 +168,18 @@ type Engine struct {
 	kern *kernel.Kernel
 	opts Options
 
-	mu      sync.Mutex
-	current *program.Instance
-	history []*UpdateReport
+	mu       sync.Mutex
+	current  *program.Instance
+	history  []*UpdateReport
+	warmOn   bool // warm-standby mode enabled (armed/re-armed around updates)
+	updating bool // an Update is in flight (blocks ArmWarm)
+	daemon   *checkpoint.Daemon
 }
 
 // NewEngine builds an engine over the shared kernel.
 func NewEngine(k *kernel.Kernel, opts Options) *Engine {
 	opts.fill()
-	return &Engine{kern: k, opts: opts}
+	return &Engine{kern: k, opts: opts, warmOn: opts.Warm}
 }
 
 // Kernel returns the engine's kernel.
@@ -206,7 +232,142 @@ func (e *Engine) Launch(v *program.Version) (*program.Instance, error) {
 	e.mu.Lock()
 	e.current = inst
 	e.mu.Unlock()
+	e.rearmWarm()
 	return inst, nil
+}
+
+// warmHandoff is the daemon state one update attempt adopts: the
+// long-lived snapshotter (shadows + consumed-bit accounting), the warm
+// analysis, and the daemon's work tally at disarm.
+type warmHandoff struct {
+	snap  *checkpoint.Snapshotter
+	an    *trace.WarmAnalysis
+	stats checkpoint.DaemonStats
+}
+
+// newDaemonLocked starts a readiness daemon over the current instance
+// with a fresh warm analysis; the caller must hold e.mu.
+func (e *Engine) newDaemonLocked() *checkpoint.Daemon {
+	return checkpoint.StartDaemon(e.current,
+		trace.NewWarmAnalysis(e.opts.Policy, e.opts.TransferLibs),
+		checkpoint.DaemonOptions{Interval: e.opts.WarmInterval})
+}
+
+// stopAndDiscard halts a daemon and discards its checkpoint, handing
+// every consumed soft-dirty bit back. Nil-safe.
+func stopAndDiscard(d *checkpoint.Daemon) {
+	if d != nil {
+		d.Stop()
+		d.Snapshot().Discard()
+	}
+}
+
+// ArmWarm enables warm-standby mode and starts the readiness daemon over
+// the running instance (the mcr-ctl "warm on" operation). Idempotent
+// while armed. Refused while an update is in flight: a daemon armed
+// mid-update would consume soft-dirty bits outside that update's
+// checkpoint accounting and end up bound to the losing instance.
+func (e *Engine) ArmWarm() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.current == nil {
+		return ErrNotRunning
+	}
+	if e.updating {
+		return errors.New("core: update in flight; re-arm after it completes")
+	}
+	e.warmOn = true
+	if e.daemon == nil {
+		e.daemon = e.newDaemonLocked()
+	}
+	return nil
+}
+
+// DisarmWarm disables warm-standby mode: the daemon stops and its
+// checkpoint is discarded, handing every consumed soft-dirty bit back so
+// a later cold update still sees the full dirty-since-startup set.
+func (e *Engine) DisarmWarm() {
+	e.mu.Lock()
+	d := e.daemon
+	e.daemon = nil
+	e.warmOn = false
+	e.mu.Unlock()
+	stopAndDiscard(d)
+}
+
+// detachWarm stops the daemon and hands its state to the calling update
+// attempt. Warm mode stays enabled — the update re-arms a fresh daemon on
+// whatever instance survives (the new version after commit, the old one
+// after rollback).
+func (e *Engine) detachWarm() *warmHandoff {
+	e.mu.Lock()
+	d := e.daemon
+	e.daemon = nil
+	e.mu.Unlock()
+	if d == nil {
+		return nil
+	}
+	d.Stop()
+	return &warmHandoff{snap: d.Snapshot(), an: d.Warm(), stats: d.Stats()}
+}
+
+// rearmWarm starts a fresh daemon over the current instance when warm
+// mode is enabled and none is running.
+func (e *Engine) rearmWarm() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.warmOn && e.current != nil && e.daemon == nil {
+		e.daemon = e.newDaemonLocked()
+	}
+}
+
+// WarmStatus describes the warm-standby daemon for operators (the
+// mcr-ctl status surface).
+type WarmStatus struct {
+	Armed         bool
+	Current       bool   // nothing stale right now (shadows and analysis caught up)
+	ShadowLag     int    // soft-dirty pages not yet shadowed (shadow currency)
+	ShadowedPages int    // pages consumed into shadows so far (shadow coverage)
+	AnalysisGen   uint64 // warm-analysis generation
+	Epochs        int    // warm epochs run since (re)arming
+	PagesCopied   int
+	Reanalyzed    int
+	Revalidated   int
+}
+
+// WarmStatus reports the daemon's readiness; the zero value means warm
+// standby is not armed.
+func (e *Engine) WarmStatus() WarmStatus {
+	e.mu.Lock()
+	d := e.daemon
+	e.mu.Unlock()
+	if d == nil {
+		return WarmStatus{}
+	}
+	st := d.Stats()
+	return WarmStatus{
+		Armed:         true,
+		Current:       d.Current(),
+		ShadowLag:     d.ShadowLag(),
+		ShadowedPages: d.ShadowCoverage(),
+		AnalysisGen:   d.Warm().Generation(),
+		Epochs:        st.Epochs,
+		PagesCopied:   st.PagesCopied,
+		Reanalyzed:    st.Reanalyzed,
+		Revalidated:   st.Revalidated,
+	}
+}
+
+// WarmWait blocks until the warm daemon reports the shadows and analysis
+// caught up with the workload (false if not armed or the timeout hits).
+func (e *Engine) WarmWait(timeout time.Duration) bool {
+	e.mu.Lock()
+	d := e.daemon
+	e.mu.Unlock()
+	if d == nil {
+		return false
+	}
+	return d.WaitCurrent(timeout)
 }
 
 // Update performs one atomic live update to the new version. On success
@@ -232,16 +393,30 @@ func (e *Engine) Update(v2 *program.Version) (*UpdateReport, error) {
 	}
 	rep := &UpdateReport{}
 	start := time.Now()
+	e.mu.Lock()
+	e.updating = true
+	e.mu.Unlock()
+	// Detach the warm daemon (if armed) and adopt its snapshotter and
+	// analysis: the Stop join is part of the request's true latency, so it
+	// runs inside the timed window. Warm mode re-arms a fresh daemon on
+	// whatever instance survives the attempt.
+	warm := e.detachWarm()
 	defer func() {
 		rep.TotalTime = time.Since(start)
 		e.mu.Lock()
 		e.history = append(e.history, rep)
+		e.updating = false
 		e.mu.Unlock()
+		e.rearmWarm()
 	}()
-	if e.opts.Sequential {
-		return e.updateSequential(old, v2, rep)
+	if warm != nil {
+		rep.Warm = true
+		rep.WarmDaemon = warm.stats
 	}
-	return e.updatePipelined(old, v2, rep)
+	if e.opts.Sequential {
+		return e.updateSequential(old, v2, rep, warm)
+	}
+	return e.updatePipelined(old, v2, rep, warm)
 }
 
 // precopy arms and runs the incremental pre-copy checkpoint engine while
@@ -356,10 +531,18 @@ func (e *Engine) transferOptions(snap *checkpoint.Snapshotter) trace.Options {
 
 // updateSequential is the strictly-ordered engine: every phase completes
 // before the next begins. It is the downtime-ablation baseline the
-// pipelined engine is measured against.
-func (e *Engine) updateSequential(old *program.Instance, v2 *program.Version, rep *UpdateReport) (*UpdateReport, error) {
+// pipelined engine is measured against. With a warm handoff, the in-call
+// pre-copy is skipped (the daemon's shadows stand in) and the warm
+// analysis is validated per process instead of recomputed wholesale.
+func (e *Engine) updateSequential(old *program.Instance, v2 *program.Version, rep *UpdateReport, warm *warmHandoff) (*UpdateReport, error) {
 	// --- CHECKPOINT: pre-copy epochs, then quiesce ---------------------
-	snap := e.precopy(old, rep)
+	var snap *checkpoint.Snapshotter
+	if warm != nil {
+		snap = warm.snap
+		rep.Precopy = snap.Stats()
+	} else {
+		snap = e.precopy(old, rep)
+	}
 	if snap != nil {
 		defer snap.Discard()
 	}
@@ -382,15 +565,28 @@ func (e *Engine) updateSequential(old *program.Instance, v2 *program.Version, re
 	rep.QuiesceTime = qd
 
 	// Update-time analysis of the old version: immutable-object marking
-	// for the startup logs, conservative tracing analysis for memory.
+	// for the startup logs, then the conservative tracing analysis —
+	// validated from the warm analysis when one was handed off, recomputed
+	// wholesale otherwise.
 	reinit.MarkLogs(old)
 	anStart := time.Now()
-	analyses, err := trace.AnalyzeInstance(old, e.opts.Policy, e.opts.TransferLibs)
+	var analyses map[program.ProcKey]*trace.Analysis
+	if warm != nil {
+		var reused int
+		analyses, reused, err = warm.an.Resolve(old)
+		if err == nil {
+			rep.AnalysesReused = reused
+			rep.ProcsReanalyzed = len(analyses) - reused
+			rep.WarmReanalyses = warm.an.ReanalysisCounts()
+		}
+	} else {
+		analyses, err = trace.AnalyzeInstance(old, e.opts.Policy, e.opts.TransferLibs)
+		rep.ProcsReanalyzed = len(analyses)
+	}
 	if err != nil {
 		return rep, e.rollback(old, nil, rep, fmt.Errorf("analysis: %w", err))
 	}
 	rep.AnalysisTime = time.Since(anStart)
-	rep.ProcsReanalyzed = len(analyses)
 	plan, reserve, pinnedStatics := trace.CombinedPlacement(analyses)
 
 	// --- RESTART: new version under mutable reinitialization -----------
@@ -403,9 +599,18 @@ func (e *Engine) updateSequential(old *program.Instance, v2 *program.Version, re
 	rep.ControlMigrationTime = time.Since(cmStart)
 	rep.Replayed, rep.LiveExecuted, rep.Conflicted = mgr.ReplayStats()
 
-	// --- REMAP: mutable tracing state transfer -------------------------
+	// --- REMAP: mutable tracing state transfer. Discovery and pair/copy
+	// are timed apart (both in-window here) so the downtime-ablation rows
+	// compare phase-for-phase with the pipelined engine, which overlaps
+	// discovery with RESTART. ----------------------------------------
+	dscStart := time.Now()
+	disc, err := trace.DiscoverInstance(old, e.transferOptions(snap))
+	if err != nil {
+		return rep, e.rollback(old, newInst, rep, err)
+	}
+	rep.DiscoveryTime = time.Since(dscStart)
 	stStart := time.Now()
-	stats, err := trace.TransferInstance(old, newInst, analyses, e.transferOptions(snap))
+	stats, err := disc.Complete(newInst, analyses)
 	rep.Transfer = stats
 	if err != nil {
 		return rep, e.rollback(old, newInst, rep, err)
@@ -436,19 +641,47 @@ func (e *Engine) updateSequential(old *program.Instance, v2 *program.Version, re
 // Any RESTART failure cancels the in-flight old-side work and joins it
 // before rolling back, so the old instance resumes with no reader racing
 // it and the deferred checkpoint Discard restores every consumed bit.
-func (e *Engine) updatePipelined(old *program.Instance, v2 *program.Version, rep *UpdateReport) (*UpdateReport, error) {
+//
+// With a warm handoff the in-call pre-quiesce phases disappear entirely:
+// the daemon already ran the pre-copy epochs and kept the analysis warm,
+// so the update initiates quiescence immediately — request-to-commit
+// latency collapses toward the quiesce-to-commit window.
+func (e *Engine) updatePipelined(old *program.Instance, v2 *program.Version, rep *UpdateReport, warm *warmHandoff) (*UpdateReport, error) {
 	rep.Pipelined = true
 	// --- CHECKPOINT: speculative analysis overlapped with the pre-copy
-	// epochs, then quiesce --------------------------------------------
-	spec := trace.Speculate(old, e.opts.Policy, e.opts.TransferLibs)
-	snap := e.precopy(old, rep)
+	// epochs (skipped on the warm fast path), then quiesce -------------
+	//
+	// A warm handoff whose analysis is empty (the daemon was re-armed
+	// after the last update and detached before completing a pass) has
+	// nothing to validate: fall back to in-call speculation so the
+	// analysis still runs off-window — Resolve over an empty warm
+	// analysis would move every per-process analysis into the downtime
+	// window, regressing below the cold engine. The daemon's snapshotter
+	// is still adopted for shadow continuity either way.
+	var (
+		spec *trace.Speculation
+		snap *checkpoint.Snapshotter
+	)
+	warmAn := warm != nil && warm.an.Entries() > 0
+	if warm != nil {
+		snap = warm.snap
+	} else {
+		snap = e.precopy(old, rep)
+	}
+	if !warmAn {
+		spec = trace.Speculate(old, e.opts.Policy, e.opts.TransferLibs)
+	}
 	if snap != nil {
 		defer snap.Discard()
 	}
-	// Join the speculation before initiating quiescence: the old version
-	// is still serving here, so the wait is off the downtime window by
-	// construction — Resolve below must never block in-window.
-	spec.Wait()
+	if spec != nil {
+		// Join the speculation before initiating quiescence: the old
+		// version is still serving here, so the wait is off the downtime
+		// window by construction — Resolve below must never block
+		// in-window. (The warm path has nothing to join: the daemon was
+		// stopped before the timed window even opened.)
+		spec.Wait()
+	}
 	if h := e.opts.BeforeQuiesce; h != nil {
 		h(old)
 	}
@@ -496,16 +729,27 @@ func (e *Engine) updatePipelined(old *program.Instance, v2 *program.Version, rep
 	}
 
 	// Update-time analysis: immutable-object marking for the startup
-	// logs, then validate the speculative analysis against the deltas,
-	// re-analyzing only what they invalidated.
+	// logs, then validate the speculative (or warm) analysis against the
+	// deltas, re-analyzing only what they invalidated.
 	reinit.MarkLogs(old)
 	anStart := time.Now()
-	analyses, reused, err := spec.Resolve(old)
+	var (
+		analyses map[program.ProcKey]*trace.Analysis
+		reused   int
+	)
+	if warmAn {
+		analyses, reused, err = warm.an.Resolve(old)
+	} else {
+		analyses, reused, err = spec.Resolve(old)
+	}
 	if err != nil {
 		return rep, abort(nil, fmt.Errorf("analysis: %w", err))
 	}
 	rep.AnalysesReused = reused
 	rep.ProcsReanalyzed = len(analyses) - reused
+	if warmAn {
+		rep.WarmReanalyses = warm.an.ReanalysisCounts()
+	}
 	rep.AnalysisTime = time.Since(anStart)
 	plan, reserve, pinnedStatics := trace.CombinedPlacement(analyses)
 
@@ -555,12 +799,16 @@ func (e *Engine) rollback(old, new *program.Instance, rep *UpdateReport, cause e
 	return fmt.Errorf("%w: %v", ErrUpdateFailed, cause)
 }
 
-// Shutdown terminates the running instance.
+// Shutdown terminates the running instance, stopping the warm daemon
+// first so no warm pass races the teardown.
 func (e *Engine) Shutdown() {
 	e.mu.Lock()
 	inst := e.current
 	e.current = nil
+	d := e.daemon
+	e.daemon = nil
 	e.mu.Unlock()
+	stopAndDiscard(d)
 	if inst != nil {
 		inst.Terminate()
 	}

@@ -26,7 +26,7 @@ type DowntimeRow struct {
 	Quiesce          time.Duration
 	Analysis         time.Duration // in-window analysis (validation only when pipelined)
 	ControlMigration time.Duration
-	Discovery        time.Duration // overlapped with restart when pipelined
+	Discovery        time.Duration // in-window when sequential, overlapped with restart when pipelined
 	StateTransfer    time.Duration
 	Downtime         time.Duration // quiesce -> commit
 	Total            time.Duration

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -289,6 +290,81 @@ func TestFigure3LiveTrafficPrecopy(t *testing.T) {
 				t.Errorf("%s@%d conns: downtime not measured", s.Name, pt.Connections)
 			}
 		}
+	}
+	_ = res.Render()
+}
+
+func TestWarmStandbyBitIdenticalAndFastPath(t *testing.T) {
+	res, err := RunWarm(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	seq, cold, warm := res.Rows[0], res.Rows[1], res.Rows[2]
+	if seq.Mode != "sequential" || cold.Mode != "cold" || warm.Mode != "warm" {
+		t.Fatalf("row order wrong: %+v", res.Rows)
+	}
+	// Bit-identical transfer is the hard invariant (RunWarm itself also
+	// enforces the checksum); the 50% latency bar is recorded in
+	// BENCH_warm.json, not asserted here where CI timing noise rules.
+	if warm.StateSum != cold.StateSum || warm.StateSum != seq.StateSum {
+		t.Errorf("state sums differ: %#x / %#x / %#x", seq.StateSum, cold.StateSum, warm.StateSum)
+	}
+	// Warm fast path: the analysis was kept current across the serving
+	// window and fully reused, no in-call epochs ran before quiesce, and
+	// the daemon did the shadow work.
+	if warm.AnalysesReused != 1 || warm.ProcsReanalyzed != 0 {
+		t.Errorf("warm analysis not reused: %+v", warm)
+	}
+	if warm.WarmEpochs == 0 {
+		t.Errorf("no warm epochs absorbed before the request: %+v", warm)
+	}
+	if warm.ShadowFraction != 1.0 {
+		t.Errorf("warm shadow fraction = %.2f, want 1.0", warm.ShadowFraction)
+	}
+	if warm.RequestToCommit <= 0 || warm.Downtime <= 0 {
+		t.Errorf("latency not measured: %+v", warm)
+	}
+	_ = res.Render()
+}
+
+func TestWarmForksSkewedRevalidation(t *testing.T) {
+	res, err := RunWarmForks(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0].Mode != "cold" || res.Rows[1].Mode != "warm" {
+		t.Fatalf("rows wrong: %+v", res.Rows)
+	}
+	if res.Rows[0].StateSum != res.Rows[1].StateSum {
+		t.Errorf("state sums differ: %#x vs %#x", res.Rows[0].StateSum, res.Rows[1].StateSum)
+	}
+	warm := res.Rows[1]
+	// Every process validated at quiesce: the skewed writes were absorbed
+	// by the daemon between rounds.
+	if warm.AnalysesReused != res.Procs || warm.ProcsReanalyzed != 0 {
+		t.Errorf("warm run reused %d/%d analyses: %+v", warm.AnalysesReused, res.Procs, warm)
+	}
+	// The skew: every idle process is analyzed exactly once (the initial
+	// pass); every hot process re-analyzes at least once per write round.
+	if len(res.PerProcReanalyses) != res.Procs {
+		t.Fatalf("per-proc tally covers %d procs, want %d: %v",
+			len(res.PerProcReanalyses), res.Procs, res.PerProcReanalyses)
+	}
+	for i := 0; i < res.Procs; i++ {
+		n := res.PerProcReanalyses[fmt.Sprintf("proc%d", i)]
+		if i < res.Writers {
+			if n < 1+res.Rounds {
+				t.Errorf("hot proc%d reanalyses = %d, want >= %d", i, n, 1+res.Rounds)
+			}
+		} else if n != 1 {
+			t.Errorf("idle proc%d reanalyses = %d, want 1", i, n)
+		}
+	}
+	if res.IdleReanalyses >= res.HotReanalyses {
+		t.Errorf("no skew: hot=%d idle=%d", res.HotReanalyses, res.IdleReanalyses)
 	}
 	_ = res.Render()
 }

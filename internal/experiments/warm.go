@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+// WarmRow is one engine mode's measured update in the warm-standby
+// ablation: the request->commit wall clock (the number the warm daemon
+// exists to shrink), its pre-quiesce and downtime halves, the in-window
+// phase breakdown, and the transferred-state checksum.
+type WarmRow struct {
+	Mode string // "sequential", "cold" (pipelined), "warm"
+
+	RequestToCommit time.Duration // Update() call to commit (TotalTime)
+	PreQuiesce      time.Duration // request to quiesce initiation
+	Downtime        time.Duration // quiesce -> commit
+
+	Quiesce          time.Duration
+	Analysis         time.Duration
+	ControlMigration time.Duration
+	Discovery        time.Duration
+	StateTransfer    time.Duration
+
+	AnalysesReused  int
+	ProcsReanalyzed int
+	WarmEpochs      int // daemon epochs absorbed before the request (warm only)
+	ShadowFraction  float64
+	StateSum        uint64
+}
+
+// WarmResult is the warm-standby ablation: one identical live update
+// measured cold on both engines and warm on the pipelined engine.
+type WarmResult struct {
+	Objects    int
+	HeapBytes  uint64
+	GOMAXPROCS int
+	Rows       []WarmRow // [sequential, cold, warm]
+}
+
+// row returns the row with the given mode.
+func (r *WarmResult) row(mode string) *WarmRow {
+	for i := range r.Rows {
+		if r.Rows[i].Mode == mode {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// LatencyReduction returns the fraction of request->commit latency the
+// warm standby removed relative to the cold pipelined engine.
+func (r *WarmResult) LatencyReduction() float64 {
+	cold, warm := r.row("cold"), r.row("warm")
+	if cold == nil || warm == nil || cold.RequestToCommit == 0 {
+		return 0
+	}
+	return 1 - float64(warm.RequestToCommit)/float64(cold.RequestToCommit)
+}
+
+// warmRun measures one engine mode over the downtime-harness heap:
+// launch, dirty the whole heap (post-startup working set), let the warm
+// daemon catch up when warm, update, and record the report breakdown plus
+// the transferred-state checksum.
+func warmRun(cfg Config, mode string, blobs, size int) (WarmRow, error) {
+	opts := core.Options{
+		Parallelism:    cfg.Parallelism,
+		QuiesceTimeout: 30 * time.Second,
+		StartupTimeout: 30 * time.Second,
+	}
+	switch mode {
+	case "sequential":
+		opts.Sequential = true
+		opts.Precopy = true
+	case "cold":
+		opts.Precopy = true
+	case "warm":
+		opts.Warm = true
+		opts.WarmInterval = 500 * time.Microsecond
+	}
+	k := kernel.New()
+	e := core.NewEngine(k, opts)
+	if _, err := e.Launch(downtimeVersion(0, blobs, size)); err != nil {
+		return WarmRow{}, err
+	}
+	defer e.Shutdown()
+	if err := dirtyWholeHeap(e.Current().Root()); err != nil {
+		return WarmRow{}, err
+	}
+	var warmEpochs int
+	if mode == "warm" {
+		if !e.WarmWait(30 * time.Second) {
+			return WarmRow{}, fmt.Errorf("warm daemon never caught up: %+v", e.WarmStatus())
+		}
+		warmEpochs = e.WarmStatus().Epochs
+	}
+	rep, err := e.Update(downtimeVersion(1, blobs, size))
+	if err != nil {
+		return WarmRow{}, err
+	}
+	sum, err := stateSum(e.Current())
+	if err != nil {
+		return WarmRow{}, err
+	}
+	return WarmRow{
+		Mode:             mode,
+		RequestToCommit:  rep.TotalTime,
+		PreQuiesce:       rep.TotalTime - rep.Downtime,
+		Downtime:         rep.Downtime,
+		Quiesce:          rep.QuiesceTime,
+		Analysis:         rep.AnalysisTime,
+		ControlMigration: rep.ControlMigrationTime,
+		Discovery:        rep.DiscoveryTime,
+		StateTransfer:    rep.StateTransferTime,
+		AnalysesReused:   rep.AnalysesReused,
+		ProcsReanalyzed:  rep.ProcsReanalyzed,
+		WarmEpochs:       warmEpochs,
+		ShadowFraction:   rep.Transfer.ShadowFraction(),
+		StateSum:         sum,
+	}, nil
+}
+
+// RunWarm regenerates the warm-standby ablation: one identical live
+// update measured on the sequential engine (cold), the pipelined engine
+// (cold), and the pipelined engine with the warm-standby daemon armed.
+// The acceptance bar: warm request->commit latency drops >= 50% vs the
+// cold pipelined run, downtime stays no worse, and the transferred state
+// is bit-identical across all three (enforced here by FNV checksum).
+func RunWarm(cfg Config) (*WarmResult, error) {
+	blobs, size := cfg.Scale.downtimeBlobs()
+	res := &WarmResult{
+		Objects:    blobs,
+		HeapBytes:  uint64(blobs) * uint64(size),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, mode := range []string{"sequential", "cold", "warm"} {
+		row, err := warmRun(cfg, mode, blobs, size)
+		if err != nil {
+			return nil, fmt.Errorf("warm (%s): %w", mode, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for _, row := range res.Rows[1:] {
+		if row.StateSum != res.Rows[0].StateSum {
+			return nil, fmt.Errorf("experiments: %s engine changed the transferred state: sum %#x vs %#x",
+				row.Mode, row.StateSum, res.Rows[0].StateSum)
+		}
+	}
+	return res, nil
+}
+
+// Render formats the warm ablation side by side.
+func (r *WarmResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Warm-standby readiness daemon: request->commit latency (%d objects, %d heap bytes, GOMAXPROCS=%d)\n",
+		r.Objects, r.HeapBytes, r.GOMAXPROCS)
+	fmt.Fprintf(&b, "%-12s %12s %12s %12s %10s %10s %8s\n",
+		"engine", "req->commit", "pre-quiesce", "downtime", "analysis", "copy", "reused")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %12s %12s %12s %10s %10s %5d/%-2d\n",
+			row.Mode,
+			row.RequestToCommit.Round(10*time.Microsecond),
+			row.PreQuiesce.Round(10*time.Microsecond),
+			row.Downtime.Round(10*time.Microsecond),
+			row.Analysis.Round(10*time.Microsecond),
+			row.StateTransfer.Round(10*time.Microsecond),
+			row.AnalysesReused, row.ProcsReanalyzed)
+	}
+	fmt.Fprintf(&b, "latency reduction: %.0f%% (target >= 50%%); transfer bit-identical (sum %#x)\n",
+		r.LatencyReduction()*100, r.Rows[0].StateSum)
+	b.WriteString("warm: shadows and analysis kept current between updates; the request starts at quiesce\n")
+	return b.String()
+}

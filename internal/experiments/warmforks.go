@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/program"
+	"repro/internal/types"
+)
+
+// WarmForkRow is one engine mode's measured update over the fork-heavy
+// many-process heap.
+type WarmForkRow struct {
+	Mode string // "cold" (pipelined), "warm"
+
+	RequestToCommit time.Duration
+	Downtime        time.Duration
+	AnalysesReused  int
+	ProcsReanalyzed int
+	StateSum        uint64
+}
+
+// WarmForkResult scales the downtime harness into a fork-heavy
+// many-process scenario with skewed per-process write traffic: only the
+// first Writers processes keep writing between warm passes, so
+// per-process revalidation visibly pays off — idle processes are
+// analyzed once and revalidated for free ever after.
+type WarmForkResult struct {
+	Procs      int // processes (root + children)
+	Writers    int // processes receiving post-startup traffic
+	Rounds     int // skewed write rounds between launch and update
+	GOMAXPROCS int
+	Rows       []WarmForkRow // [cold, warm]
+	// PerProcReanalyses is the warm run's per-process analysis
+	// recomputation tally, keyed procN in creation order (proc0 = root).
+	// The hot set is the first Writers entries — proc0 (the root)
+	// through proc{Writers-1}; every idle process stays at 1 (the
+	// initial pass).
+	PerProcReanalyses map[string]int
+	HotReanalyses     int // total recomputations across writing processes
+	IdleReanalyses    int // total recomputations across idle processes
+}
+
+// LatencyReduction returns the fraction of request->commit latency warm
+// standby removed vs the cold pipelined run.
+func (r *WarmForkResult) LatencyReduction() float64 {
+	if len(r.Rows) != 2 || r.Rows[0].RequestToCommit == 0 {
+		return 0
+	}
+	return 1 - float64(r.Rows[1].RequestToCommit)/float64(r.Rows[0].RequestToCommit)
+}
+
+func (s Scale) warmForkShape() (children, blobs, size int) {
+	if s == Full {
+		return 12, 64, 2048
+	}
+	return 6, 24, 1024
+}
+
+// warmForkVersion builds the fork-heavy server: the root allocates a
+// chained opaque heap and forks `children` worker processes, each
+// building the same shape in its own address space (fork duplicates the
+// parent image; the children then allocate on top of it).
+func warmForkVersion(seq, children, blobs, size int) *program.Version {
+	build := func(t *program.Thread, blobs int) error {
+		p := t.Proc()
+		fill := bytes.Repeat([]byte{0xA5}, size)
+		var first, last *mem.Object
+		for i := 0; i < blobs; i++ {
+			b, err := t.MallocBytes(uint64(size))
+			if err != nil {
+				return err
+			}
+			if err := p.WriteBytes(b, 0, fill); err != nil {
+				return err
+			}
+			if last != nil {
+				if err := p.WriteWordAt(last, 0, uint64(b.Addr)); err != nil {
+					return err
+				}
+			} else {
+				first = b
+			}
+			last = b
+		}
+		return p.WriteWordAt(p.MustGlobal("anchor"), 0, uint64(first.Addr))
+	}
+	idle := func(t *program.Thread) error {
+		return t.Loop("forkheavy_loop", func() error {
+			if err := t.IdleQP("idle@forkheavy_loop"); err != nil {
+				if errors.Is(err, program.ErrStopped) {
+					return program.ErrLoopExit
+				}
+				return err
+			}
+			return nil
+		})
+	}
+	return &program.Version{
+		Program:     "forkheavy",
+		Release:     fmt.Sprintf("v%d", seq+1),
+		Seq:         seq,
+		Types:       types.NewRegistry(),
+		Globals:     []program.GlobalSpec{{Name: "anchor", Size: 64}},
+		Annotations: program.NewAnnotations(),
+		Main: func(t *program.Thread) error {
+			t.Enter("main")
+			defer t.Exit()
+			if err := t.Call("forkheavy_init", func() error {
+				return build(t, blobs)
+			}); err != nil {
+				return err
+			}
+			for i := 0; i < children; i++ {
+				name := fmt.Sprintf("worker_%d", i)
+				if _, err := t.ForkProc(name, func(ct *program.Thread) error {
+					ct.Enter(name)
+					defer ct.Exit()
+					if err := ct.Call(name+"_init", func() error {
+						return build(ct, blobs/2)
+					}); err != nil {
+						return err
+					}
+					return idle(ct)
+				}); err != nil {
+					return err
+				}
+			}
+			return idle(t)
+		},
+	}
+}
+
+// skewedWrites rewrites the payload of every heap object in exactly the
+// first `writers` processes (the hot set), with a round-dependent
+// deterministic pattern; all other processes stay untouched.
+func skewedWrites(inst *program.Instance, writers, round int) error {
+	for pi, p := range inst.Procs() {
+		if pi >= writers {
+			break
+		}
+		i := 0
+		for _, o := range p.Index().All() {
+			if o.Kind != mem.ObjHeap || o.Size <= 16 {
+				continue
+			}
+			payload := make([]byte, o.Size-8)
+			for j := range payload {
+				payload[j] = 0x80 | byte((round*31+i*7+j)&0x7f)
+			}
+			if err := p.Space().WriteAt(o.Addr+8, payload); err != nil {
+				return err
+			}
+			i++
+		}
+	}
+	return nil
+}
+
+// warmForkRun measures one engine mode over the fork-heavy scenario.
+func warmForkRun(cfg Config, warmMode bool, children, blobs, size, writers, rounds int) (WarmForkRow, map[string]int, error) {
+	opts := core.Options{
+		Parallelism:    cfg.Parallelism,
+		QuiesceTimeout: 30 * time.Second,
+		StartupTimeout: 30 * time.Second,
+	}
+	if warmMode {
+		opts.Warm = true
+		opts.WarmInterval = 500 * time.Microsecond
+	} else {
+		opts.Precopy = true
+	}
+	k := kernel.New()
+	e := core.NewEngine(k, opts)
+	if _, err := e.Launch(warmForkVersion(0, children, blobs, size)); err != nil {
+		return WarmForkRow{}, nil, err
+	}
+	defer e.Shutdown()
+	inst := e.Current()
+	// Let the daemon complete its initial pass before traffic starts, so
+	// the per-round tally below is exact (initial analysis + one
+	// recomputation per absorbed round).
+	if warmMode && !e.WarmWait(30*time.Second) {
+		return WarmForkRow{}, nil, fmt.Errorf("warm daemon never armed: %+v", e.WarmStatus())
+	}
+	// The skewed traffic: only the hot set keeps writing between warm
+	// passes; the warm daemon must re-analyze exactly those processes.
+	for round := 0; round < rounds; round++ {
+		if err := skewedWrites(inst, writers, round); err != nil {
+			return WarmForkRow{}, nil, err
+		}
+		if warmMode && !e.WarmWait(30*time.Second) {
+			return WarmForkRow{}, nil, fmt.Errorf("warm daemon never caught up (round %d): %+v", round, e.WarmStatus())
+		}
+	}
+	procs := inst.Procs() // creation-order labels, resolved pre-commit
+	rep, err := e.Update(warmForkVersion(1, children, blobs, size))
+	if err != nil {
+		return WarmForkRow{}, nil, err
+	}
+	sum, err := stateSum(e.Current())
+	if err != nil {
+		return WarmForkRow{}, nil, err
+	}
+	var perProc map[string]int
+	if warmMode {
+		perProc = make(map[string]int, len(procs))
+		for i, p := range procs {
+			perProc[fmt.Sprintf("proc%d", i)] = rep.WarmReanalyses[p.Key()]
+		}
+	}
+	return WarmForkRow{
+		Mode: map[bool]string{false: "cold", true: "warm"}[warmMode],
+
+		RequestToCommit: rep.TotalTime,
+		Downtime:        rep.Downtime,
+		AnalysesReused:  rep.AnalysesReused,
+		ProcsReanalyzed: rep.ProcsReanalyzed,
+		StateSum:        sum,
+	}, perProc, nil
+}
+
+// RunWarmForks regenerates the fork-heavy warm-standby scenario: a
+// many-process server where post-startup traffic keeps writing to only a
+// few processes. The warm run must reuse every analysis at quiesce, its
+// per-process tally must show the skew (hot processes re-analyzed once
+// per round, idle ones only at the initial pass), and the transferred
+// state must be bit-identical to the cold run.
+func RunWarmForks(cfg Config) (*WarmForkResult, error) {
+	children, blobs, size := cfg.Scale.warmForkShape()
+	const writers, rounds = 2, 3
+	res := &WarmForkResult{
+		Procs:      children + 1,
+		Writers:    writers,
+		Rounds:     rounds,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, warmMode := range []bool{false, true} {
+		row, perProc, err := warmForkRun(cfg, warmMode, children, blobs, size, writers, rounds)
+		if err != nil {
+			return nil, fmt.Errorf("warmforks (warm=%v): %w", warmMode, err)
+		}
+		res.Rows = append(res.Rows, row)
+		if perProc != nil {
+			res.PerProcReanalyses = perProc
+		}
+	}
+	if res.Rows[0].StateSum != res.Rows[1].StateSum {
+		return nil, fmt.Errorf("experiments: warm standby changed the transferred state: sum %#x vs %#x",
+			res.Rows[1].StateSum, res.Rows[0].StateSum)
+	}
+	for i := 0; i < res.Procs; i++ {
+		n := res.PerProcReanalyses[fmt.Sprintf("proc%d", i)]
+		if i < res.Writers {
+			res.HotReanalyses += n
+		} else {
+			res.IdleReanalyses += n
+		}
+	}
+	return res, nil
+}
+
+// Render formats the fork-heavy scenario: the mode rows, then the
+// per-process revalidation skew.
+func (r *WarmForkResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Warm standby, fork-heavy: %d procs, %d writers, %d skewed rounds (GOMAXPROCS=%d)\n",
+		r.Procs, r.Writers, r.Rounds, r.GOMAXPROCS)
+	fmt.Fprintf(&b, "%-8s %12s %12s %8s\n", "engine", "req->commit", "downtime", "reused")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %12s %12s %5d/%-2d\n",
+			row.Mode,
+			row.RequestToCommit.Round(10*time.Microsecond),
+			row.Downtime.Round(10*time.Microsecond),
+			row.AnalysesReused, row.ProcsReanalyzed)
+	}
+	keys := make([]string, 0, len(r.PerProcReanalyses))
+	for k := range r.PerProcReanalyses {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return len(keys[i]) < len(keys[j]) || (len(keys[i]) == len(keys[j]) && keys[i] < keys[j])
+	})
+	b.WriteString("per-process reanalyses (warm run): ")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", k, r.PerProcReanalyses[k])
+	}
+	fmt.Fprintf(&b, "\nhot total=%d idle total=%d (idle procs revalidate for free; transfer bit-identical, sum %#x)\n",
+		r.HotReanalyses, r.IdleReanalyses, r.Rows[0].StateSum)
+	return b.String()
+}

@@ -357,6 +357,37 @@ func (as *AddressSpace) ConsumedDirtyPages() []Addr {
 	return out
 }
 
+// SoftDirtyCount returns the number of soft-dirty pages without
+// materializing the page list: the cheap staleness query the warm-standby
+// daemon polls between updates to decide whether a shadow refresh epoch
+// is worth running. O(resident pages), but allocation- and sort-free.
+func (as *AddressSpace) SoftDirtyCount() int {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	n := 0
+	for _, p := range as.pages {
+		if p.softDirty {
+			n++
+		}
+	}
+	return n
+}
+
+// ConsumedCount returns the number of pages whose soft-dirty bit
+// ReadAndClearSoftDirty consumed, without materializing the page list
+// (the shadow-coverage half of the warm-standby staleness query).
+func (as *AddressSpace) ConsumedCount() int {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	n := 0
+	for _, p := range as.pages {
+		if p.consumed {
+			n++
+		}
+	}
+	return n
+}
+
 // RestoreSoftDirty hands every consumed dirty bit back: consumed pages
 // become soft-dirty again and lose the consumed mark. Discarding a
 // pre-copy checkpoint (rollback) calls this so that a later transfer

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/types"
 )
@@ -24,6 +25,12 @@ type RegionAllocator struct {
 	chunkSize    uint64
 	parent       *RegionAllocator // nested regions (httpd)
 
+	// mu guards the mutable region state: httpd's pool threads carve
+	// per-request subregions out of a shared per-worker root concurrently
+	// (apr pools take a per-pool mutex for exactly this). Lock ordering is
+	// strictly parent before child (Destroy recursion); children never
+	// lock their parent.
+	mu        sync.Mutex
 	chunks    []regionChunk
 	cursor    Addr
 	curEnd    Addr
@@ -58,13 +65,17 @@ func NewRegionAllocator(heap *Allocator, name string, chunkSize uint64, instrume
 func (r *RegionAllocator) NewSubRegion(name string) *RegionAllocator {
 	child := NewRegionAllocator(r.heap, name, r.chunkSize, r.instrumented)
 	child.parent = r
+	r.mu.Lock()
 	r.children = append(r.children, child)
+	r.mu.Unlock()
 	return child
 }
 
 // Alloc bump-allocates size bytes, 16-aligned. site is the allocation-site
 // call-stack ID (meaningful only when instrumented).
 func (r *RegionAllocator) Alloc(size uint64, t *types.Type, site uint64) (Addr, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.destroyed {
 		return 0, fmt.Errorf("mem: region %q already destroyed", r.name)
 	}
@@ -118,6 +129,8 @@ func (r *RegionAllocator) grow(chunkSize uint64) error {
 
 // Destroy releases all chunks of this region and its children.
 func (r *RegionAllocator) Destroy() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.destroyed {
 		return nil
 	}
@@ -151,6 +164,8 @@ func (r *RegionAllocator) Instrumented() bool { return r.instrumented }
 
 // BytesHeld returns the total chunk bytes currently held by the region.
 func (r *RegionAllocator) BytesHeld() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var total uint64
 	for _, c := range r.chunks {
 		total += c.size
@@ -177,6 +192,9 @@ type SlabAllocator struct {
 	instrumented bool
 	typ          *types.Type
 
+	// mu guards the free list and slab bookkeeping (same exposure as the
+	// region allocator: server threads may share one slab class).
+	mu    sync.Mutex
 	free  []Addr
 	slabs []regionChunk
 	blobs []*Object
@@ -202,6 +220,8 @@ func NewSlabAllocator(heap *Allocator, name string, objSize uint64, instrumented
 
 // Alloc returns one object slot.
 func (s *SlabAllocator) Alloc(site uint64) (Addr, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.free) == 0 {
 		slabBytes := s.objSize * s.perSlab
 		addr, err := s.heap.AllocRaw(slabBytes)
@@ -244,6 +264,8 @@ func (s *SlabAllocator) Alloc(site uint64) (Addr, error) {
 // free-list reuse §6 warns about for liveness accuracy: the slot's stale
 // contents remain in memory and are rescanned if the slab is opaque.
 func (s *SlabAllocator) Free(addr Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.instrumented {
 		if _, ok := s.live[addr]; ok {
 			s.heap.index.Remove(addr)

@@ -67,6 +67,39 @@ func TestReadAndClearSoftDirtySemantics(t *testing.T) {
 	}
 }
 
+// TestSoftDirtyCounts pins the count-only staleness queries against the
+// materializing ones: the warm-standby daemon polls these every pass, so
+// they must track SoftDirtyPages/ConsumedDirtyPages exactly through
+// writes, epochs, restores and startup clears.
+func TestSoftDirtyCounts(t *testing.T) {
+	as := newDirtySpace(t, 8)
+	if as.SoftDirtyCount() != 0 || as.ConsumedCount() != 0 {
+		t.Fatalf("fresh space: dirty=%d consumed=%d, want 0/0", as.SoftDirtyCount(), as.ConsumedCount())
+	}
+	for _, pg := range []int{0, 2, 5} {
+		writePage(t, as, pg, 0xAB)
+	}
+	if got := as.SoftDirtyCount(); got != 3 {
+		t.Fatalf("dirty count = %d, want 3", got)
+	}
+	as.ReadAndClearSoftDirty()
+	if d, c := as.SoftDirtyCount(), as.ConsumedCount(); d != 0 || c != 3 {
+		t.Fatalf("after epoch: dirty=%d consumed=%d, want 0/3", d, c)
+	}
+	writePage(t, as, 2, 0xCD) // re-dirty a consumed page: counted in both
+	if d, c := as.SoftDirtyCount(), as.ConsumedCount(); d != 1 || c != 3 {
+		t.Fatalf("after re-dirty: dirty=%d consumed=%d, want 1/3", d, c)
+	}
+	as.RestoreSoftDirty()
+	if d, c := as.SoftDirtyCount(), as.ConsumedCount(); d != 3 || c != 0 {
+		t.Fatalf("after restore: dirty=%d consumed=%d, want 3/0", d, c)
+	}
+	as.ClearSoftDirty()
+	if d, c := as.SoftDirtyCount(), as.ConsumedCount(); d != 0 || c != 0 {
+		t.Fatalf("after startup clear: dirty=%d consumed=%d, want 0/0", d, c)
+	}
+}
+
 // TestSoftDirtyAcrossFork pins the fork contract the checkpoint engine
 // depends on: Clone carries both the soft-dirty bits and the consumed
 // marks (Linux preserves soft-dirty across fork; our consumed marks ride
