@@ -629,3 +629,42 @@ func BenchmarkCheckpointPrecopy(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkOverhead reports the live-traffic overhead curve: the warm
+// daemon's serving-throughput cost per duty-cycle setting under the real
+// servers' sustained workloads, plus the mid-traffic warm update audit
+// (traffic through quiesce/commit/rollback, responses validated, transfer
+// shadow-verified and FNV-checksummed — RunOverhead fails otherwise).
+// Baselines live in BENCH_overhead.json.
+func BenchmarkOverhead(b *testing.B) {
+	res, err := experiments.RunOverhead(experiments.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range res.Points {
+		b.Run(fmt.Sprintf("%s/duty=%d%%", p.Server, int(p.DutyCycle*100)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// The measurement was taken once above; report it per run.
+			}
+			b.ReportMetric(p.BaselineRPS, "baseline-rps")
+			b.ReportMetric(p.WarmRPS, "warm-rps")
+			b.ReportMetric(p.OverheadPct()*100, "overhead-pct")
+			b.ReportMetric(float64(p.Passes), "passes")
+			b.ReportMetric(p.MeasuredDuty*100, "measured-duty-pct")
+		})
+	}
+	for _, u := range res.Updates {
+		name := fmt.Sprintf("%s/update", u.Server)
+		if u.Rollback {
+			name = fmt.Sprintf("%s/rollback", u.Server)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+			}
+			b.ReportMetric(float64(u.RequestToCommit.Microseconds()), "req-to-commit-µs")
+			b.ReportMetric(float64(u.Downtime.Microseconds()), "downtime-µs")
+			b.ReportMetric(float64(u.ShadowLagAtRequest), "lag-at-request-pages")
+			b.ReportMetric(float64(u.RequestsDuring), "requests-during")
+		})
+	}
+}

@@ -23,6 +23,7 @@ type config struct {
 	Checkpoint  bool
 	Downtime    bool
 	Warm        bool
+	Overhead    bool
 	All         bool
 	Full        bool
 	Reps        int
@@ -125,6 +126,14 @@ func run(cfg config, out io.Writer) error {
 			return fmt.Errorf("warm forks: %w", err)
 		}
 		fmt.Fprintln(out, forks.Render())
+	}
+	if cfg.All || cfg.Overhead {
+		ran = true
+		res, err := experiments.RunOverhead(ecfg)
+		if err != nil {
+			return fmt.Errorf("overhead: %w", err)
+		}
+		fmt.Fprintln(out, res.Render())
 	}
 	if cfg.All || cfg.Memory {
 		ran = true

@@ -66,3 +66,22 @@ func TestRunWarmExperiment(t *testing.T) {
 		}
 	}
 }
+
+func TestRunOverheadExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run(config{Overhead: true, Reps: 1}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Live-traffic overhead",
+		"duty-cycle cost curve",
+		"mid-traffic warm updates",
+		"rollback",
+		"transfer-sum",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in overhead output:\n%s", want, got)
+		}
+	}
+}

@@ -99,9 +99,12 @@ func TestRunWarmDeploysUpdateAndShowsReadiness(t *testing.T) {
 	}
 	got := out.String()
 	for _, want := range []string{
-		"warm=armed",   // readiness line before and after the update
-		"lag=",         // shadow currency
-		"agen=",        // analysis generation
+		"warm=armed", // readiness line before and after the update
+		"lag=",       // shadow currency
+		"agen=",      // analysis generation
+		"duty=0.25",  // the daemon's duty-cycle setting (default bound)
+		"passes=",    // pass counter behind the overhead curve
+		"yields=",    // backpressure-stretched pauses
 		"warm pipelined engine",
 		"OK warm disarmed", // operator disarm at the end
 		"warm=disarmed",

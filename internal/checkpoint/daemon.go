@@ -49,6 +49,27 @@ type DaemonStats struct {
 	Revalidated int // processes revalidated for free against the deltas
 	Dropped     int // entries dropped for exited processes
 	Errors      int // analysis failures (entry invalidated, daemon continues)
+
+	// Duty-cycle accounting, the raw material of the overhead curve:
+	// WorkTime is wall clock spent inside passes, PauseTime wall clock
+	// yielded back to the serving workload between them, and Yields
+	// counts the pauses the backpressure stretched beyond the base
+	// interval (a heavy pass forcing extra uncontended time). The
+	// measured duty fraction is WorkTime/(WorkTime+PauseTime), bounded
+	// by DaemonOptions.DutyCycle.
+	WorkTime  time.Duration
+	PauseTime time.Duration
+	Yields    int
+}
+
+// DutyFraction returns the measured fraction of wall clock the daemon
+// spent doing warm work (0 if it never ran).
+func (s DaemonStats) DutyFraction() float64 {
+	total := s.WorkTime + s.PauseTime
+	if total <= 0 {
+		return 0
+	}
+	return float64(s.WorkTime) / float64(total)
 }
 
 // Daemon is the warm-standby readiness loop: between updates it keeps a
@@ -104,13 +125,29 @@ func (d *Daemon) loop() {
 		// Backpressure: a pass that took d leaves the workload at least
 		// d*(1-duty)/duty of uncontended time before the next one.
 		pause := d.opts.Interval
+		yielded := false
 		if min := time.Duration(float64(took) * (1 - d.opts.DutyCycle) / d.opts.DutyCycle); min > pause {
 			pause = min
+			yielded = true
 		}
+		d.mu.Lock()
+		d.stats.WorkTime += took
+		if yielded {
+			d.stats.Yields++
+		}
+		d.mu.Unlock()
+		pauseStart := time.Now()
+		stopped := false
 		select {
 		case <-d.stop:
-			return
+			stopped = true
 		case <-time.After(pause):
+		}
+		d.mu.Lock()
+		d.stats.PauseTime += time.Since(pauseStart)
+		d.mu.Unlock()
+		if stopped {
+			return
 		}
 	}
 }
@@ -160,6 +197,9 @@ func (d *Daemon) Snapshot() *Snapshotter { return d.snap }
 // Warm returns the daemon's warm analysis. Meaningful to adopt only
 // after Stop.
 func (d *Daemon) Warm() *trace.WarmAnalysis { return d.warm }
+
+// DutyCycle returns the configured duty-cycle bound.
+func (d *Daemon) DutyCycle() float64 { return d.opts.DutyCycle }
 
 // Stats returns a snapshot of the daemon's accumulated statistics.
 func (d *Daemon) Stats() DaemonStats {

@@ -238,3 +238,37 @@ func TestDaemonBackpressure(t *testing.T) {
 		t.Errorf("idle passes were not skipped: %+v", st)
 	}
 }
+
+// TestDaemonDutyAccounting covers the overhead-curve counters: work and
+// pause time both accumulate, the measured duty fraction respects the
+// configured bound (within scheduling slack), and a heavy pass under a
+// tight bound registers yields (backpressure-stretched pauses).
+func TestDaemonDutyAccounting(t *testing.T) {
+	v1 := startInst(t, synthVersion(0, false), program.Options{}, nil, nil)
+	defer v1.Terminate()
+	d := StartDaemon(v1, trace.NewWarmAnalysis(types.DefaultPolicy(), nil),
+		DaemonOptions{Interval: 50 * time.Microsecond, DutyCycle: 0.10})
+	if d.DutyCycle() != 0.10 {
+		t.Fatalf("DutyCycle() = %v", d.DutyCycle())
+	}
+	// Keep the instance dirty so passes do real epoch + analysis work and
+	// the backpressure has something to stretch.
+	deadline := time.Now().Add(30 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		dirtyHeap(t, v1, 1, 0)
+		time.Sleep(500 * time.Microsecond)
+	}
+	d.Stop()
+	st := d.Stats()
+	if st.Passes == 0 || st.WorkTime == 0 || st.PauseTime == 0 {
+		t.Fatalf("duty accounting empty: %+v", st)
+	}
+	if st.Yields == 0 {
+		t.Errorf("no yields under a 0.10 duty bound with dirty passes: %+v", st)
+	}
+	// The bound is enforced per pause, so the aggregate fraction should
+	// not exceed it by more than scheduling noise.
+	if f := st.DutyFraction(); f > 0.35 {
+		t.Errorf("measured duty %.2f far above the 0.10 bound: %+v", f, st)
+	}
+}

@@ -157,8 +157,9 @@ func (c *Controller) dispatch(req string) string {
 // shadow currency (unshadowed dirty pages) and the analysis generation,
 // plus the work tally behind them.
 func warmLine(ws WarmStatus) string {
-	return fmt.Sprintf("warm=armed current=%v lag=%dpages shadowed=%dpages agen=%d epochs=%d reanalyzed=%d revalidated=%d",
-		ws.Current, ws.ShadowLag, ws.ShadowedPages, ws.AnalysisGen, ws.Epochs, ws.Reanalyzed, ws.Revalidated)
+	return fmt.Sprintf("warm=armed current=%v lag=%dpages shadowed=%dpages agen=%d duty=%.2f passes=%d epochs=%d yields=%d reanalyzed=%d revalidated=%d",
+		ws.Current, ws.ShadowLag, ws.ShadowedPages, ws.AnalysisGen, ws.DutyCycle,
+		ws.Passes, ws.Epochs, ws.Yields, ws.Reanalyzed, ws.Revalidated)
 }
 
 // CtlRequest sends one mcr-ctl request over the simulated kernel and

@@ -87,6 +87,20 @@ type Options struct {
 	// WarmInterval paces the daemon's warm passes (0 = daemon default).
 	// Only meaningful with Warm.
 	WarmInterval time.Duration
+	// WarmDutyCycle bounds the fraction of wall clock the warm daemon may
+	// spend doing warm work (0 = daemon default, 0.25). The knob the
+	// live-traffic overhead harness sweeps: lower settings cost the
+	// serving workload less and let the shadows lag further behind.
+	// Only meaningful with Warm.
+	WarmDutyCycle float64
+	// VerifyTransfer enables the transfer's shadow-verification checksum:
+	// every byte served from a pre-copy shadow is cross-checked against
+	// the quiesced live memory it stands in for, and Stats.Checksum
+	// digests the full transferred stream (FNV-64a per object, combined
+	// order-independently). A stale shadow fails the update instead of
+	// committing corrupt state. Costs one extra locked read per
+	// shadow-served object; meant for harnesses and audits.
+	VerifyTransfer bool
 	// BeforeQuiesce, when set, is invoked after the pre-copy epochs (if
 	// any) and immediately before quiescence begins — the last moment the
 	// old version's state can change. Operators can log or snapshot here;
@@ -144,6 +158,13 @@ type UpdateReport struct {
 	Warm           bool
 	WarmDaemon     checkpoint.DaemonStats
 	WarmReanalyses map[program.ProcKey]int
+	// WarmLagAtRequest is the shadow staleness (unshadowed soft-dirty
+	// pages) the daemon reported at the instant the update request
+	// detached it — how far behind the serving workload the chosen duty
+	// cycle let the shadows fall.
+	WarmLagAtRequest int
+	// WarmDutyCycle echoes the daemon's configured duty-cycle bound.
+	WarmDutyCycle float64
 
 	Replayed, LiveExecuted, Conflicted int
 	Transfer                           trace.Stats
@@ -240,9 +261,11 @@ func (e *Engine) Launch(v *program.Version) (*program.Instance, error) {
 // long-lived snapshotter (shadows + consumed-bit accounting), the warm
 // analysis, and the daemon's work tally at disarm.
 type warmHandoff struct {
-	snap  *checkpoint.Snapshotter
-	an    *trace.WarmAnalysis
-	stats checkpoint.DaemonStats
+	snap         *checkpoint.Snapshotter
+	an           *trace.WarmAnalysis
+	stats        checkpoint.DaemonStats
+	lagAtRequest int
+	dutyCycle    float64
 }
 
 // newDaemonLocked starts a readiness daemon over the current instance
@@ -250,7 +273,21 @@ type warmHandoff struct {
 func (e *Engine) newDaemonLocked() *checkpoint.Daemon {
 	return checkpoint.StartDaemon(e.current,
 		trace.NewWarmAnalysis(e.opts.Policy, e.opts.TransferLibs),
-		checkpoint.DaemonOptions{Interval: e.opts.WarmInterval})
+		checkpoint.DaemonOptions{
+			Interval:  e.opts.WarmInterval,
+			DutyCycle: e.opts.WarmDutyCycle,
+		})
+}
+
+// SetWarmPacing reconfigures the warm daemon's pacing (interval and
+// duty-cycle bound; zero keeps the daemon default). Takes effect the next
+// time a daemon is armed — the overhead harness disarms, re-paces and
+// re-arms between duty-cycle sweep points.
+func (e *Engine) SetWarmPacing(interval time.Duration, dutyCycle float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.opts.WarmInterval = interval
+	e.opts.WarmDutyCycle = dutyCycle
 }
 
 // stopAndDiscard halts a daemon and discards its checkpoint, handing
@@ -307,8 +344,15 @@ func (e *Engine) detachWarm() *warmHandoff {
 	if d == nil {
 		return nil
 	}
+	// Staleness at request time is sampled before the Stop join: it
+	// answers "how far behind were the shadows when the update arrived",
+	// not "after the daemon's final pass".
+	lag := d.ShadowLag()
 	d.Stop()
-	return &warmHandoff{snap: d.Snapshot(), an: d.Warm(), stats: d.Stats()}
+	return &warmHandoff{
+		snap: d.Snapshot(), an: d.Warm(), stats: d.Stats(),
+		lagAtRequest: lag, dutyCycle: d.DutyCycle(),
+	}
 }
 
 // rearmWarm starts a fresh daemon over the current instance when warm
@@ -333,6 +377,13 @@ type WarmStatus struct {
 	PagesCopied   int
 	Reanalyzed    int
 	Revalidated   int
+	// Duty-cycle surface: the configured bound, the pass/yield counters
+	// and the measured work/pause split behind the overhead curve.
+	DutyCycle float64
+	Passes    int
+	Yields    int
+	WorkTime  time.Duration
+	PauseTime time.Duration
 }
 
 // WarmStatus reports the daemon's readiness; the zero value means warm
@@ -355,6 +406,11 @@ func (e *Engine) WarmStatus() WarmStatus {
 		PagesCopied:   st.PagesCopied,
 		Reanalyzed:    st.Reanalyzed,
 		Revalidated:   st.Revalidated,
+		DutyCycle:     d.DutyCycle(),
+		Passes:        st.Passes,
+		Yields:        st.Yields,
+		WorkTime:      st.WorkTime,
+		PauseTime:     st.PauseTime,
 	}
 }
 
@@ -412,6 +468,8 @@ func (e *Engine) Update(v2 *program.Version) (*UpdateReport, error) {
 	if warm != nil {
 		rep.Warm = true
 		rep.WarmDaemon = warm.stats
+		rep.WarmLagAtRequest = warm.lagAtRequest
+		rep.WarmDutyCycle = warm.dutyCycle
 	}
 	if e.opts.Sequential {
 		return e.updateSequential(old, v2, rep, warm)
@@ -461,6 +519,10 @@ func (e *Engine) restart(old *program.Instance, v2 *program.Version,
 	if err := reinit.InheritPlacement(newInst.Root(), plan, reserve); err != nil {
 		return newInst, err
 	}
+	// Pid side of global separability: reserve the old namespace's ids so
+	// no unpinned creation under startup can steal one a pinned replay
+	// (or a reinitialization handler) is about to restore.
+	reinit.ReserveIDs(old, newInst.Root())
 	if err := newInst.Start(); err != nil {
 		return newInst, err
 	}
@@ -522,6 +584,7 @@ func (e *Engine) transferOptions(snap *checkpoint.Snapshotter) trace.Options {
 		TransferLibs:       e.opts.TransferLibs,
 		DisableDirtyFilter: e.opts.DisableDirtyFilter,
 		Parallelism:        e.opts.Parallelism,
+		VerifyShadows:      e.opts.VerifyTransfer,
 	}
 	if snap != nil {
 		topts.Shadows = snap.Shadows()

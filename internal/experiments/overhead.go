@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/servers"
+	"repro/internal/workload"
+)
+
+// OverheadPoint is one duty-cycle setting's measured serving cost: the
+// same sustained client workload's throughput and latency with the warm
+// daemon disarmed (baseline) and armed at the setting, plus the daemon's
+// pass cadence and the shadow staleness the setting buys. This is the
+// run-time-overhead axis of the paper's evaluation driven against the
+// warm-standby machinery: background-copy rate vs foreground throughput,
+// the live-migration trade-off made measurable.
+type OverheadPoint struct {
+	Server    string
+	DutyCycle float64 // configured bound
+
+	BaselineRPS float64
+	WarmRPS     float64
+	BaselineLat time.Duration // mean round trip
+	WarmLat     time.Duration
+
+	Passes       int     // daemon passes inside the warm window
+	Epochs       int     // shadow epochs among them
+	Yields       int     // backpressure-stretched pauses
+	PagesCopied  int     // dirty pages absorbed inside the window
+	PassHz       float64 // pass cadence over the window
+	MeasuredDuty float64 // work/(work+pause) over the window
+	ShadowLagEnd int     // unshadowed dirty pages at window close
+}
+
+// OverheadPct returns the serving-throughput cost of the setting
+// (fraction of baseline throughput lost while warm-armed).
+func (p OverheadPoint) OverheadPct() float64 {
+	if p.BaselineRPS <= 0 {
+		return 0
+	}
+	return 1 - p.WarmRPS/p.BaselineRPS
+}
+
+// OverheadUpdateRow is one mid-traffic update: clients keep issuing
+// requests through quiesce, commit (or rollback) and beyond, every
+// response is validated, and the transfer runs with shadow verification
+// on — a stale shadow or a crossed response fails the harness.
+type OverheadUpdateRow struct {
+	Server             string
+	DutyCycle          float64
+	Rollback           bool // scenario expected the update to roll back
+	ShadowLagAtRequest int
+	RequestToCommit    time.Duration
+	Downtime           time.Duration
+	TransferChecksum   uint64
+	ShadowBytes        uint64
+	LiveBytes          uint64
+	RequestsDuring     int // responses completed while the update was in flight
+	RequestsAfter      int // responses completed in the settle window after
+}
+
+// OverheadResult is the live-traffic overhead sweep.
+type OverheadResult struct {
+	GOMAXPROCS int
+	Clients    int
+	Window     time.Duration
+	Duties     []float64
+	Points     []OverheadPoint
+	Updates    []OverheadUpdateRow
+}
+
+// overheadDuties is the swept duty-cycle settings (the acceptance bar
+// wants at least four).
+var overheadDuties = []float64{0.05, 0.15, 0.30, 0.60}
+
+// overheadServers are the model servers the harness drives (the paper's
+// threaded, process-per-connection and exec-helper designs).
+var overheadServers = []string{"httpd", "vsftpd", "sshd"}
+
+func (s Scale) overheadWindow() time.Duration {
+	if s == Full {
+		return 400 * time.Millisecond
+	}
+	return 60 * time.Millisecond
+}
+
+func (s Scale) overheadClients() int {
+	if s == Full {
+		return 8
+	}
+	return 4
+}
+
+// overheadEngine launches one server with the warm machinery available
+// (disarmed) and shadow verification on.
+func overheadEngine(spec *servers.Spec, cfg Config) (*core.Engine, *kernel.Kernel, error) {
+	k := kernel.New()
+	servers.SeedFiles(k)
+	e := core.NewEngine(k, core.Options{
+		Parallelism:    cfg.Parallelism,
+		VerifyTransfer: true,
+		WarmInterval:   200 * time.Microsecond,
+		QuiesceTimeout: 30 * time.Second,
+		StartupTimeout: 30 * time.Second,
+	})
+	if _, err := e.Launch(spec.Version(0)); err != nil {
+		return nil, nil, fmt.Errorf("overhead: launch %s: %w", spec.Name, err)
+	}
+	return e, k, nil
+}
+
+// measureWindow serves for d and returns the driver delta.
+func measureWindow(drv *workload.Sustained, d time.Duration) workload.SustainedStats {
+	before := drv.Snapshot()
+	time.Sleep(d)
+	return drv.Snapshot().Delta(before)
+}
+
+// overheadSweep measures one server: baseline window, then one warm
+// window per duty setting, then the mid-traffic warm update (and, for
+// httpd, the rollback-under-traffic scenario).
+func overheadSweep(cfg Config, name string, res *OverheadResult) error {
+	spec, err := servers.SpecByName(name)
+	if err != nil {
+		return err
+	}
+	if name == "httpd" {
+		old := servers.SetHttpdPoolThreads(4)
+		defer servers.SetHttpdPoolThreads(old)
+	}
+	e, k, err := overheadEngine(spec, cfg)
+	if err != nil {
+		return err
+	}
+	defer e.Shutdown()
+
+	drv, err := workload.StartSustained(k, workload.SustainedOptions{
+		Server: name, Port: spec.Port, Clients: res.Clients,
+	})
+	if err != nil {
+		return err
+	}
+	defer drv.Stop()
+
+	// Let the serving path warm up before the baseline window so session
+	// setup cost does not masquerade as daemon overhead.
+	time.Sleep(res.Window / 4)
+	base := measureWindow(drv, res.Window)
+	if base.Requests == 0 {
+		return fmt.Errorf("overhead: %s baseline served nothing (last err %v)", name, drv.LastError())
+	}
+
+	for _, duty := range res.Duties {
+		e.SetWarmPacing(200*time.Microsecond, duty)
+		if err := e.ArmWarm(); err != nil {
+			return fmt.Errorf("overhead: %s arm (duty %.2f): %w", name, duty, err)
+		}
+		// Absorb the arming transient (first full-heap analysis pass)
+		// outside the measured window.
+		e.WarmWait(res.Window)
+		ws0 := e.WarmStatus()
+		warm := measureWindow(drv, res.Window)
+		ws1 := e.WarmStatus()
+		e.DisarmWarm()
+
+		pt := OverheadPoint{
+			Server:       name,
+			DutyCycle:    duty,
+			BaselineRPS:  base.Throughput(),
+			WarmRPS:      warm.Throughput(),
+			BaselineLat:  base.MeanLatency(),
+			WarmLat:      warm.MeanLatency(),
+			Passes:       ws1.Passes - ws0.Passes,
+			Epochs:       ws1.Epochs - ws0.Epochs,
+			Yields:       ws1.Yields - ws0.Yields,
+			PagesCopied:  ws1.PagesCopied - ws0.PagesCopied,
+			ShadowLagEnd: ws1.ShadowLag,
+		}
+		if warm.Elapsed > 0 {
+			pt.PassHz = float64(pt.Passes) / warm.Elapsed.Seconds()
+		}
+		if wp := (ws1.WorkTime - ws0.WorkTime) + (ws1.PauseTime - ws0.PauseTime); wp > 0 {
+			pt.MeasuredDuty = float64(ws1.WorkTime-ws0.WorkTime) / float64(wp)
+		}
+		if warm.BadResponses > 0 {
+			return fmt.Errorf("overhead: %s duty %.2f: %d wrong responses under warm daemon",
+				name, duty, warm.BadResponses)
+		}
+		res.Points = append(res.Points, pt)
+	}
+
+	// Mid-traffic warm update: traffic keeps flowing through quiesce and
+	// commit; shadow verification fails the update if a stale shadow is
+	// served; afterwards the clients must still get correct responses
+	// from the new version over their surviving sessions.
+	row, err := overheadUpdate(e, drv, spec, 0.25, false, res.Window)
+	if err != nil {
+		return fmt.Errorf("overhead: %s mid-traffic update: %w", name, err)
+	}
+	res.Updates = append(res.Updates, row)
+
+	if name == "httpd" {
+		// Rollback under traffic: the §7 violating-assumptions toggle
+		// makes the new version abort at startup; the update must roll
+		// back with the old version still serving every client correctly.
+		prev := servers.SetHttpdHonorMCRAnnotation(false)
+		row, err := overheadUpdate(e, drv, spec, 0.25, true, res.Window)
+		servers.SetHttpdHonorMCRAnnotation(prev)
+		if err != nil {
+			return fmt.Errorf("overhead: %s mid-traffic rollback: %w", name, err)
+		}
+		res.Updates = append(res.Updates, row)
+	}
+
+	final := drv.Stop()
+	if final.BadResponses > 0 {
+		return fmt.Errorf("overhead: %s: %d wrong responses across the run", name, final.BadResponses)
+	}
+	return nil
+}
+
+// overheadUpdate performs one warm update (to the next release in the
+// engine's history) while the driver keeps serving, and audits the
+// outcome. expectRollback selects the negative scenario.
+func overheadUpdate(e *core.Engine, drv *workload.Sustained, spec *servers.Spec,
+	duty float64, expectRollback bool, settle time.Duration) (OverheadUpdateRow, error) {
+	e.SetWarmPacing(200*time.Microsecond, duty)
+	if err := e.ArmWarm(); err != nil {
+		return OverheadUpdateRow{}, err
+	}
+	e.WarmWait(settle)
+
+	next := len(e.History()) + 1
+	if next >= spec.NumVersions {
+		next = spec.NumVersions - 1
+	}
+	before := drv.Snapshot()
+	rep, err := e.Update(spec.Version(next))
+	during := drv.Snapshot().Delta(before)
+	if expectRollback {
+		if err == nil || rep == nil || !rep.RolledBack {
+			return OverheadUpdateRow{}, fmt.Errorf("expected rollback, got err=%v", err)
+		}
+	} else if err != nil {
+		return OverheadUpdateRow{}, err
+	}
+	after := measureWindow(drv, settle)
+	if after.Requests == 0 {
+		return OverheadUpdateRow{}, fmt.Errorf("no responses after the update window (last err %v)", drv.LastError())
+	}
+	if during.BadResponses > 0 || after.BadResponses > 0 {
+		return OverheadUpdateRow{}, fmt.Errorf("wrong responses through the update: %d during, %d after",
+			during.BadResponses, after.BadResponses)
+	}
+	if !expectRollback && !rep.Warm {
+		return OverheadUpdateRow{}, fmt.Errorf("update did not take the warm path")
+	}
+	row := OverheadUpdateRow{
+		Server:         spec.Name,
+		DutyCycle:      duty,
+		Rollback:       expectRollback,
+		RequestsDuring: during.Requests,
+		RequestsAfter:  after.Requests,
+	}
+	if rep != nil {
+		row.ShadowLagAtRequest = rep.WarmLagAtRequest
+		row.RequestToCommit = rep.TotalTime
+		row.Downtime = rep.Downtime
+		row.TransferChecksum = rep.Transfer.Checksum
+		row.ShadowBytes = rep.Transfer.BytesFromShadow
+		row.LiveBytes = rep.Transfer.BytesLive
+	}
+	if !expectRollback && row.TransferChecksum == 0 {
+		return OverheadUpdateRow{}, fmt.Errorf("transfer recorded no checksum (VerifyTransfer off?)")
+	}
+	// The committed update leaves warm mode enabled and re-armed; disarm
+	// so the next scenario (or sweep) starts cold.
+	e.DisarmWarm()
+	return row, nil
+}
+
+// RunOverhead regenerates the live-traffic overhead evaluation: the real
+// model servers under sustained client traffic, the warm daemon swept
+// across duty-cycle settings (serving throughput baseline vs warm-armed,
+// daemon pass cadence, shadow staleness), and mid-traffic warm updates —
+// including a rollback — with every client response validated and the
+// transfer checksummed under shadow verification.
+func RunOverhead(cfg Config) (*OverheadResult, error) {
+	res := &OverheadResult{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Clients:    cfg.Scale.overheadClients(),
+		Window:     cfg.Scale.overheadWindow(),
+		Duties:     overheadDuties,
+	}
+	for _, name := range overheadServers {
+		if err := overheadSweep(cfg, name, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Render formats the duty-cycle curve and the mid-traffic update audit.
+func (r *OverheadResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Live-traffic overhead: warm-daemon duty-cycle cost curve (%d clients/server, %s windows, GOMAXPROCS=%d)\n",
+		r.Clients, r.Window, r.GOMAXPROCS)
+	fmt.Fprintf(&b, "%-8s %6s %12s %12s %9s %8s %8s %8s %9s %6s\n",
+		"server", "duty", "base-rps", "warm-rps", "overhead", "passes", "pass-hz", "yields", "meas-duty", "lag")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-8s %6.2f %12.0f %12.0f %8.1f%% %8d %8.0f %8d %9.2f %6d\n",
+			p.Server, p.DutyCycle, p.BaselineRPS, p.WarmRPS, p.OverheadPct()*100,
+			p.Passes, p.PassHz, p.Yields, p.MeasuredDuty, p.ShadowLagEnd)
+	}
+	b.WriteString("mid-traffic warm updates (responses validated through quiesce/commit/rollback; shadow-verified transfer):\n")
+	fmt.Fprintf(&b, "%-8s %10s %8s %12s %12s %10s %10s %18s\n",
+		"server", "outcome", "lag@req", "req->commit", "downtime", "req-during", "req-after", "transfer-sum")
+	for _, u := range r.Updates {
+		outcome := "commit"
+		if u.Rollback {
+			outcome = "rollback"
+		}
+		fmt.Fprintf(&b, "%-8s %10s %8d %12s %12s %10d %10d %#18x\n",
+			u.Server, outcome, u.ShadowLagAtRequest,
+			u.RequestToCommit.Round(10*time.Microsecond),
+			u.Downtime.Round(10*time.Microsecond),
+			u.RequestsDuring, u.RequestsAfter, u.TransferChecksum)
+	}
+	b.WriteString("baseline = same sustained workload with the daemon disarmed; overhead = throughput lost warm-armed\n")
+	return b.String()
+}

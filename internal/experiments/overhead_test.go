@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+// TestRunOverheadLiveTraffic exercises the whole live-traffic harness at
+// quick scale: the duty-cycle sweep runs against every server with
+// validated responses, and the mid-traffic updates (including the httpd
+// rollback) complete with traffic flowing and a shadow-verified,
+// checksummed transfer. RunOverhead fails internally on any wrong
+// response, stale shadow or missing checksum, so most of the correctness
+// surface is enforced before this test sees the result.
+func TestRunOverheadLiveTraffic(t *testing.T) {
+	res, err := RunOverhead(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Duties) < 4 {
+		t.Fatalf("swept %d duty settings, want >= 4", len(res.Duties))
+	}
+	perServer := map[string]int{}
+	for _, p := range res.Points {
+		perServer[p.Server]++
+		if p.BaselineRPS <= 0 || p.WarmRPS <= 0 {
+			t.Errorf("%s duty %.2f: empty window (base %.0f warm %.0f)",
+				p.Server, p.DutyCycle, p.BaselineRPS, p.WarmRPS)
+		}
+	}
+	for _, name := range overheadServers {
+		if perServer[name] != len(res.Duties) {
+			t.Errorf("%s has %d points, want %d", name, perServer[name], len(res.Duties))
+		}
+	}
+	commits, rollbacks := 0, 0
+	for _, u := range res.Updates {
+		if u.RequestsDuring == 0 && u.RequestsAfter == 0 {
+			t.Errorf("%s update saw no traffic at all", u.Server)
+		}
+		if u.Rollback {
+			rollbacks++
+			continue
+		}
+		commits++
+		if u.TransferChecksum == 0 {
+			t.Errorf("%s committed without a transfer checksum", u.Server)
+		}
+		if u.RequestsAfter == 0 {
+			t.Errorf("%s served nothing after commit", u.Server)
+		}
+	}
+	if commits != len(overheadServers) {
+		t.Errorf("%d committed mid-traffic updates, want %d", commits, len(overheadServers))
+	}
+	if rollbacks != 1 {
+		t.Errorf("%d rollback scenarios, want 1", rollbacks)
+	}
+	_ = res.Render()
+}
+
+// overheadChecksumRun performs one verified update over the deterministic
+// downtime heap and returns the transfer-stream checksum.
+func overheadChecksumRun(t *testing.T, mode string) uint64 {
+	t.Helper()
+	opts := core.Options{
+		VerifyTransfer: true,
+		QuiesceTimeout: 30 * time.Second,
+		StartupTimeout: 30 * time.Second,
+	}
+	switch mode {
+	case "sequential":
+		opts.Sequential = true
+		opts.Precopy = true
+	case "cold":
+		opts.Precopy = true
+	case "warm":
+		opts.Warm = true
+		opts.WarmInterval = 500 * time.Microsecond
+	}
+	k := kernel.New()
+	e := core.NewEngine(k, opts)
+	if _, err := e.Launch(downtimeVersion(0, 64, 2048)); err != nil {
+		t.Fatalf("%s: launch: %v", mode, err)
+	}
+	defer e.Shutdown()
+	if err := dirtyWholeHeap(e.Current().Root()); err != nil {
+		t.Fatal(err)
+	}
+	if mode == "warm" && !e.WarmWait(30*time.Second) {
+		t.Fatalf("warm daemon never caught up: %+v", e.WarmStatus())
+	}
+	rep, err := e.Update(downtimeVersion(1, 64, 2048))
+	if err != nil {
+		t.Fatalf("%s: update: %v", mode, err)
+	}
+	if rep.Transfer.Checksum == 0 {
+		t.Fatalf("%s: no checksum recorded", mode)
+	}
+	return rep.Transfer.Checksum
+}
+
+// TestTransferChecksumBitIdenticalAcrossEngines pins the bit-identity
+// witness: the same quiesced state yields the same order-independent FNV
+// stream digest on the sequential engine, the pipelined engine and the
+// warm fast path — shadows, pipelining and parallel copy workers change
+// nothing about what is transferred.
+func TestTransferChecksumBitIdenticalAcrossEngines(t *testing.T) {
+	ref := overheadChecksumRun(t, "sequential")
+	for _, mode := range []string{"cold", "warm"} {
+		if sum := overheadChecksumRun(t, mode); sum != ref {
+			t.Errorf("%s checksum %#x != sequential %#x", mode, sum, ref)
+		}
+	}
+}

@@ -63,6 +63,12 @@ type namespace struct {
 	id      int
 	nextPid Pid
 	procs   map[Pid]*Proc
+	// reserved pids are skipped by natural (unpinned) allocation and
+	// handed out only to a matching PinNextPid — the deterministic pid
+	// reservation mutable reinitialization needs so that a new version's
+	// unpinned thread creations, racing the pinned replay under real
+	// parallelism, can never steal an id the old version still owns.
+	reserved map[Pid]bool
 }
 
 // New returns an empty kernel with a root filesystem.
@@ -112,7 +118,7 @@ func (k *Kernel) NewProc() *Proc {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	k.nextNS++
-	ns := &namespace{id: k.nextNS, nextPid: 1, procs: make(map[Pid]*Proc)}
+	ns := &namespace{id: k.nextNS, nextPid: 1, procs: make(map[Pid]*Proc), reserved: make(map[Pid]bool)}
 	k.nss[ns.id] = ns
 	return k.newProcLocked(ns, 0, 0)
 }
@@ -120,11 +126,13 @@ func (k *Kernel) NewProc() *Proc {
 func (k *Kernel) newProcLocked(ns *namespace, parent, want Pid) *Proc {
 	pid := want
 	if pid == 0 {
-		for ns.procs[ns.nextPid] != nil {
+		for ns.procs[ns.nextPid] != nil || ns.reserved[ns.nextPid] {
 			ns.nextPid++
 		}
 		pid = ns.nextPid
 		ns.nextPid++
+	} else {
+		delete(ns.reserved, pid)
 	}
 	p := &Proc{
 		k:            k,
@@ -190,6 +198,38 @@ func (p *Proc) takePinLocked() Pid {
 	return pid
 }
 
+// ReservePids marks pids as reserved in this process's namespace:
+// natural allocation (Fork and NewThreadID without a pin) skips them, and
+// a matching pin consumes the reservation. Pids already live in the
+// namespace are skipped — they cannot be stolen in the first place. MCR
+// reserves every id of the old version's namespace in the new version's
+// before startup, so the replayed pinned creations can never lose a race
+// against an unpinned creation (e.g. a forked worker's main thread,
+// whose tid is not startup-log material).
+func (p *Proc) ReservePids(pids []Pid) {
+	p.k.mu.Lock()
+	defer p.k.mu.Unlock()
+	for _, pid := range pids {
+		if p.ns.procs[pid] == nil {
+			p.ns.reserved[pid] = true
+		}
+	}
+}
+
+// NamespacePids returns every pid currently bound in this process's
+// namespace (processes and thread ids, including ids of exited threads
+// whose process is still alive), ascending.
+func (p *Proc) NamespacePids() []Pid {
+	p.k.mu.Lock()
+	defer p.k.mu.Unlock()
+	out := make([]Pid, 0, len(p.ns.procs))
+	for pid := range p.ns.procs {
+		out = append(out, pid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Fork creates a child process inheriting a copy of the fd table (fork
 // semantics: fd numbers preserved, objects shared). If a pid was pinned,
 // the child gets it; a pinned pid already in use is an error, surfaced to
@@ -236,10 +276,11 @@ func (p *Proc) NewThreadID() (Pid, error) {
 		if p.ns.procs[want] != nil {
 			return 0, fmt.Errorf("%w: %d", ErrPidInUse, want)
 		}
+		delete(p.ns.reserved, want)
 		p.ns.procs[want] = p // thread ids resolve to their process
 		return want, nil
 	}
-	for p.ns.procs[p.ns.nextPid] != nil {
+	for p.ns.procs[p.ns.nextPid] != nil || p.ns.reserved[p.ns.nextPid] {
 		p.ns.nextPid++
 	}
 	tid := p.ns.nextPid

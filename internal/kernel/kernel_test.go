@@ -491,3 +491,65 @@ func TestNamespaceCleanupOnExit(t *testing.T) {
 		t.Errorf("%d procs remain", n)
 	}
 }
+
+func TestPidReservation(t *testing.T) {
+	k := New()
+	p := k.NewProc()
+	p.ReservePids([]Pid{3, 4, 5})
+	// Natural allocation skips the reserved range.
+	tid, err := p.NewThreadID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tid >= 3 && tid <= 5 {
+		t.Fatalf("natural tid %d stole a reserved pid", tid)
+	}
+	child, err := p.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp := child.Pid(); cp >= 3 && cp <= 5 {
+		t.Fatalf("natural fork pid %d stole a reserved pid", cp)
+	}
+	// A pin consumes its reservation.
+	p.PinNextPid(4)
+	tid, err = p.NewThreadID()
+	if err != nil || tid != 4 {
+		t.Fatalf("pinned NewThreadID = %d, %v; want 4", tid, err)
+	}
+	// Reserving an id that is already live is a no-op (it cannot be
+	// stolen), and does not block a later natural allocation scan.
+	p.ReservePids([]Pid{p.Pid()})
+	if _, err := p.NewThreadID(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNamespacePidsListsThreadsAndProcs(t *testing.T) {
+	k := New()
+	p := k.NewProc()
+	tid, err := p.NewThreadID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := p.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pids := p.NamespacePids()
+	want := map[Pid]bool{p.Pid(): true, tid: true, child.Pid(): true}
+	for _, pid := range pids {
+		delete(want, pid)
+	}
+	if len(want) != 0 {
+		t.Fatalf("NamespacePids %v missing %v", pids, want)
+	}
+	// A second root lives in a different namespace: reservations and
+	// listings do not leak across.
+	other := k.NewProc()
+	for _, pid := range other.NamespacePids() {
+		if pid == tid || pid == child.Pid() {
+			t.Fatalf("namespace leak: %d visible from other root", pid)
+		}
+	}
+}

@@ -264,6 +264,19 @@ func ReservedModeOff(inst *program.Instance) {
 	}
 }
 
+// ReserveIDs applies the pid side of global separability to the new
+// instance before startup: every id bound in the old version's namespace
+// — process pids, live thread ids, and the ids of short-lived startup
+// threads whose process still runs — is reserved in the new version's
+// namespace. Unpinned creations (a forked worker's main thread tid is
+// not startup-log material) then allocate around the old id space, so a
+// pinned replay racing them under real parallelism can never find its id
+// stolen. Without this, the httpd worker-pool replay intermittently
+// conflicts ("pid already in use") at GOMAXPROCS >= 4.
+func ReserveIDs(old *program.Instance, newRoot *program.Proc) {
+	newRoot.KProc().ReservePids(old.Root().KProc().NamespacePids())
+}
+
 // InheritPlacement applies the memory side of global inheritance to the
 // new instance's root before startup: the placement plan for immutable
 // startup-time heap objects and explicit reservations for immutable

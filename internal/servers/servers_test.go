@@ -3,6 +3,7 @@ package servers
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -41,9 +42,19 @@ func TestProfileMatchesTable1(t *testing.T) {
 				t.Fatalf("profile workload: %v", err)
 			}
 			defer workload.CloseSessions(sessions)
-			// Let residency accumulate at the quiescent points.
-			time.Sleep(50 * time.Millisecond)
-			rep := prof.Report()
+			// Let residency accumulate at the quiescent points. Poll
+			// rather than sleep a fixed window: under a loaded machine
+			// (race detector, other package tests in parallel) a slow
+			// thread may not have parked at its QP yet.
+			var rep quiesce.Report
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				time.Sleep(10 * time.Millisecond)
+				rep = prof.Report()
+				if rep.QuiescentPoints() == spec.Paper.QP || time.Now().After(deadline) {
+					break
+				}
+			}
 
 			if got, want := rep.ShortLived(), spec.Paper.SL; got != want {
 				t.Errorf("short-lived classes = %d, want %d (classes %+v)", got, want, rep.Classes)
@@ -460,5 +471,49 @@ func TestCatalogAndSpecLookup(t *testing.T) {
 	}
 	if _, err := SpecByName("iis"); err == nil {
 		t.Error("SpecByName(iis) succeeded")
+	}
+}
+
+// TestHttpdTidPinningUnderParallelism is the regression test for the
+// RESTART replay flake at GOMAXPROCS >= 4: a forked worker's main-thread
+// tid is allocated naturally (fork records only the child pid), and
+// before the reservation fix that natural scan raced the pinned
+// pool-thread thread_create replays in the shared namespace —
+// intermittently rolling updates back with "thread id: pid already in
+// use". With reinit.ReserveIDs in the restart path, 20/20 mid-traffic
+// updates must commit. (On the pre-fix tree this failed 20/20.)
+func TestHttpdTidPinningUnderParallelism(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	if prev < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	old := SetHttpdPoolThreads(4)
+	defer SetHttpdPoolThreads(old)
+	for i := 0; i < 20; i++ {
+		e, k := launch(t, HttpdSpec(), core.Options{})
+		ka, err := workload.OpenKeepalive(k, HttpdPort, false)
+		if err != nil {
+			e.Shutdown()
+			t.Fatalf("iter %d: keepalive: %v", i, err)
+		}
+		rep, err := e.Update(HttpdVersion(1))
+		if err != nil {
+			ka.Close()
+			e.Shutdown()
+			t.Fatalf("iter %d: update: %v", i, err)
+		}
+		if rep.RolledBack {
+			ka.Close()
+			e.Shutdown()
+			t.Fatalf("iter %d: rolled back: %v", i, rep.Reason)
+		}
+		if _, err := workload.KeepaliveRequest(ka, "GET /post"); err != nil {
+			ka.Close()
+			e.Shutdown()
+			t.Fatalf("iter %d: post-update keepalive: %v", i, err)
+		}
+		ka.Close()
+		e.Shutdown()
 	}
 }

@@ -1,9 +1,11 @@
 package trace
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"sort"
 	"sync"
@@ -49,6 +51,14 @@ type Stats struct {
 	// from the per-transfer memo instead of recomputed — every object of a
 	// changed type beyond the first is a hit.
 	TypeCacheHits int
+	// Checksum digests the transferred source stream when
+	// Options.VerifyShadows is set: per transferred object an FNV-64a
+	// hash over identity and pre-remap source bytes, XOR-combined so the
+	// digest is independent of copy order and worker scheduling. Two
+	// transfers from the same quiesced state produce the same checksum
+	// regardless of engine, shadows or parallelism — the bit-identity
+	// witness the live-traffic harness records.
+	Checksum uint64
 }
 
 // Add accumulates other into s.
@@ -64,6 +74,7 @@ func (s *Stats) Add(other Stats) {
 	s.BytesFromShadow += other.BytesFromShadow
 	s.BytesLive += other.BytesLive
 	s.TypeCacheHits += other.TypeCacheHits
+	s.Checksum ^= other.Checksum
 }
 
 // ShadowFraction returns the fraction of copied bytes the pre-copy
@@ -115,6 +126,15 @@ type Options struct {
 	// run — and serves provably-current shadows instead of locked live
 	// reads. Results stay bit-identical with or without a checkpoint.
 	Shadows func(key program.ProcKey) ShadowReader
+	// VerifyShadows turns the transfer into its own auditor: every object
+	// served from a pre-copy shadow is cross-checked byte-for-byte
+	// against the quiesced live memory it stands in for (a stale shadow
+	// is a conflict, aborting the update before corrupt state commits),
+	// and Stats.Checksum accumulates the order-independent FNV digest of
+	// the full transferred source stream. One extra locked read per
+	// shadow-served object; intended for harnesses and audits rather
+	// than the downtime-critical path.
+	VerifyShadows bool
 	// Cancel, when non-nil, aborts an in-flight discovery once closed:
 	// workers stop between objects and discovery returns ErrCanceled. The
 	// pipelined update engine closes it when the concurrent RESTART phase
@@ -676,6 +696,12 @@ func (pt *procTransfer) transferOne(o *mem.Object, st *Stats, scratch *[]byte) e
 	}
 	if h, ok := pt.ann.ObjHandler(o.Name); ok {
 		st.HandlerInvocations++
+		if pt.opts.VerifyShadows {
+			// Handlers read the old side live; digest the same source.
+			if err := pt.verifySource(o, o.Size, nil, st); err != nil {
+				return err
+			}
+		}
 		if err := h(pt, o, e.newObj); err != nil {
 			return conflictf("handler for %s: %v", o, err)
 		}
@@ -718,14 +744,21 @@ func (pt *procTransfer) transferObject(e *pairEntry, scratch *[]byte, st *Stats)
 			*scratch = make([]byte, size)
 		}
 		buf := (*scratch)[:size]
+		var shadowSrc []byte
 		if sb, ok := pt.shadowFor(o); ok {
 			copy(buf, sb[:size])
 			st.BytesFromShadow += size
+			shadowSrc = sb
 		} else {
 			if err := oldAS.ReadAt(o.Addr, buf); err != nil {
 				return err
 			}
 			st.BytesLive += size
+		}
+		if pt.opts.VerifyShadows {
+			if err := pt.verifySource(o, size, shadowSrc, st); err != nil {
+				return err
+			}
 		}
 		pt.remapInBuf(buf, n.Type)
 		return newAS.WriteAt(n.Addr, buf)
@@ -736,6 +769,11 @@ func (pt *procTransfer) transferObject(e *pairEntry, scratch *[]byte, st *Stats)
 	// are identical either way (shadow currency implies no write since
 	// capture).
 	shadow, fromShadow := pt.shadowFor(o)
+	if pt.opts.VerifyShadows {
+		if err := pt.verifySource(o, o.Size, shadow, st); err != nil {
+			return err
+		}
+	}
 	tr := e.transform
 	for _, c := range tr.Copies {
 		if err := pt.copyField(o, n, c, shadow); err != nil {
@@ -751,6 +789,38 @@ func (pt *procTransfer) transferObject(e *pairEntry, scratch *[]byte, st *Stats)
 		st.BytesLive += o.Size
 	}
 	return nil
+}
+
+// verifySource is the VerifyShadows audit for one object: read the first
+// n quiesced live bytes, cross-check the shadow served in their place
+// (nil when the copy read live memory directly), and fold the source
+// digest into st. The digest definition lives here and in sourceDigest
+// only — the cross-engine bit-identity test depends on every copy path
+// agreeing on it.
+func (pt *procTransfer) verifySource(o *mem.Object, n uint64, shadow []byte, st *Stats) error {
+	src := make([]byte, n)
+	if err := pt.oldProc.Space().ReadAt(o.Addr, src); err != nil {
+		return err
+	}
+	if shadow != nil && !bytes.Equal(src, shadow[:n]) {
+		return conflictf("shadow for %s diverges from quiesced memory", o)
+	}
+	st.Checksum ^= pt.sourceDigest(o, src)
+	return nil
+}
+
+// sourceDigest hashes one transferred object's identity and pre-remap
+// source bytes (FNV-64a). Per-object digests are XOR-combined into
+// Stats.Checksum, making the stream digest order-independent. The
+// process key is part of the identity: forked processes hold identical
+// objects at identical addresses, and two equal digests would XOR to
+// zero — cancelling exactly the fork-heavy copies the audit exists to
+// cover.
+func (pt *procTransfer) sourceDigest(o *mem.Object, data []byte) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%v:%x:%x:%d:%s;", pt.oldProc.Key(), o.Addr, o.Size, o.Kind, o.Name)
+	h.Write(data)
+	return h.Sum64()
 }
 
 // remapInBuf rewrites every precise pointer slot of type t inside the

@@ -1,0 +1,298 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/kernel"
+)
+
+// SustainedOptions configures a sustained-rate driver.
+type SustainedOptions struct {
+	// Server selects the protocol client ("httpd", "vsftpd", "sshd").
+	Server string
+	// Port is the server's listening port.
+	Port int
+	// Clients is the number of concurrent closed-loop clients (default 4).
+	// Each client holds one long-lived session and issues back-to-back
+	// requests, so offered load tracks what the server can absorb instead
+	// of a fixed request count — the serving workload the warm daemon's
+	// duty-cycle backpressure competes with.
+	Clients int
+	// Interval is the statistics bucket width (default 10ms). Every
+	// completed request is attributed to the bucket its completion falls
+	// in, so per-interval throughput is exact by construction.
+	Interval time.Duration
+	// BeforeRequest, when set, runs in the client goroutine before each
+	// request (tests inject slow responses here).
+	BeforeRequest func(client, seq int)
+	// Timeout bounds one round trip (default 5s — longer than any update
+	// window, so requests in flight across a quiesce block, not fail).
+	Timeout time.Duration
+}
+
+func (o *SustainedOptions) fill() {
+	if o.Clients <= 0 {
+		o.Clients = 4
+	}
+	if o.Interval <= 0 {
+		o.Interval = 10 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = rtTimeout
+	}
+}
+
+// IntervalStat is one statistics bucket of a sustained run.
+type IntervalStat struct {
+	Index    int
+	Requests int
+	Errors   int
+	Latency  time.Duration // summed over the bucket's requests
+}
+
+// SustainedStats is a snapshot of a sustained driver's counters.
+type SustainedStats struct {
+	Requests     int
+	Errors       int
+	BadResponses int           // protocol-valid reply with wrong content
+	Latency      time.Duration // summed over all requests
+	Elapsed      time.Duration
+	Intervals    []IntervalStat
+}
+
+// Throughput returns completed requests per second.
+func (s SustainedStats) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Requests) / s.Elapsed.Seconds()
+}
+
+// MeanLatency returns the mean per-request round-trip time.
+func (s SustainedStats) MeanLatency() time.Duration {
+	if s.Requests == 0 {
+		return 0
+	}
+	return s.Latency / time.Duration(s.Requests)
+}
+
+// Delta returns the stats accumulated since an earlier snapshot (the
+// measurement-window primitive: Snapshot, serve, Snapshot, Delta).
+func (s SustainedStats) Delta(since SustainedStats) SustainedStats {
+	d := SustainedStats{
+		Requests:     s.Requests - since.Requests,
+		Errors:       s.Errors - since.Errors,
+		BadResponses: s.BadResponses - since.BadResponses,
+		Latency:      s.Latency - since.Latency,
+		Elapsed:      s.Elapsed - since.Elapsed,
+	}
+	for _, iv := range s.Intervals {
+		if iv.Index >= len(since.Intervals) {
+			d.Intervals = append(d.Intervals, iv)
+			continue
+		}
+		prev := since.Intervals[iv.Index]
+		if rem := (IntervalStat{
+			Index:    iv.Index,
+			Requests: iv.Requests - prev.Requests,
+			Errors:   iv.Errors - prev.Errors,
+			Latency:  iv.Latency - prev.Latency,
+		}); rem.Requests > 0 || rem.Errors > 0 {
+			d.Intervals = append(d.Intervals, rem)
+		}
+	}
+	return d
+}
+
+// Sustained is a running sustained-rate client driver.
+type Sustained struct {
+	k    *kernel.Kernel
+	opts SustainedOptions
+
+	start time.Time
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	stats   SustainedStats
+	stopped bool
+	lastErr error
+}
+
+// StartSustained launches the driver: opts.Clients goroutines each open a
+// long-lived session and issue requests back to back until Stop. A
+// request that fails (closed session across an aborted connection, stale
+// fd) counts as an error and the client reconnects — traffic keeps
+// flowing through updates, commits and rollbacks, which is exactly the
+// scenario the overhead harness measures.
+func StartSustained(k *kernel.Kernel, opts SustainedOptions) (*Sustained, error) {
+	opts.fill()
+	switch opts.Server {
+	case "httpd", "vsftpd", "sshd":
+	default:
+		return nil, fmt.Errorf("workload: sustained: unsupported server %q", opts.Server)
+	}
+	s := &Sustained{
+		k:     k,
+		opts:  opts,
+		start: time.Now(),
+		stop:  make(chan struct{}),
+	}
+	for c := 0; c < opts.Clients; c++ {
+		s.wg.Add(1)
+		go s.client(c)
+	}
+	return s, nil
+}
+
+// Snapshot returns the cumulative counters so far.
+func (s *Sustained) Snapshot() SustainedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.stats
+	out.Elapsed = time.Since(s.start)
+	out.Intervals = append([]IntervalStat(nil), s.stats.Intervals...)
+	return out
+}
+
+// LastError returns the most recent client error (nil if none).
+func (s *Sustained) LastError() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// Stop signals every client, waits for in-flight requests to drain (each
+// client finishes its current round trip, closes its session and exits)
+// and returns the final statistics. Idempotent.
+func (s *Sustained) Stop() SustainedStats {
+	s.mu.Lock()
+	if !s.stopped {
+		s.stopped = true
+		close(s.stop)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return s.Snapshot()
+}
+
+func (s *Sustained) stopping() bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// record attributes one completed request to the bucket its completion
+// falls in.
+func (s *Sustained) record(took time.Duration, err error, bad bool) {
+	idx := int(time.Since(s.start) / s.opts.Interval)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.stats.Intervals) <= idx {
+		s.stats.Intervals = append(s.stats.Intervals, IntervalStat{Index: len(s.stats.Intervals)})
+	}
+	iv := &s.stats.Intervals[idx]
+	if err != nil {
+		s.stats.Errors++
+		iv.Errors++
+		s.lastErr = err
+		return
+	}
+	s.stats.Requests++
+	s.stats.Latency += took
+	iv.Requests++
+	iv.Latency += took
+	if bad {
+		s.stats.BadResponses++
+	}
+}
+
+// client is one closed-loop session: connect, issue requests until Stop,
+// reconnect on failure.
+func (s *Sustained) client(id int) {
+	defer s.wg.Done()
+	var sess *Session
+	defer func() {
+		if sess != nil {
+			sess.Close()
+		}
+	}()
+	seq := 0
+	for !s.stopping() {
+		if sess == nil {
+			var err error
+			sess, err = s.connect(id)
+			if err != nil {
+				s.record(0, err, false)
+				// Brief backoff so a server mid-quiesce is not hammered
+				// with doomed connection attempts.
+				select {
+				case <-s.stop:
+					return
+				case <-time.After(500 * time.Microsecond):
+				}
+				continue
+			}
+		}
+		if s.opts.BeforeRequest != nil {
+			s.opts.BeforeRequest(id, seq)
+		}
+		t0 := time.Now()
+		resp, err := s.request(sess, id, seq)
+		took := time.Since(t0)
+		if err != nil {
+			s.record(took, err, false)
+			sess.Close()
+			sess = nil
+			continue
+		}
+		s.record(took, nil, !s.valid(resp, id, seq))
+		seq++
+	}
+}
+
+func (s *Sustained) connect(id int) (*Session, error) {
+	switch s.opts.Server {
+	case "httpd":
+		return OpenKeepalive(s.k, s.opts.Port, false)
+	case "vsftpd":
+		return OpenFTP(s.k, s.opts.Port, fmt.Sprintf("load%d", id))
+	case "sshd":
+		return OpenSSH(s.k, s.opts.Port, fmt.Sprintf("load%d", id), true)
+	}
+	return nil, fmt.Errorf("workload: sustained: unsupported server %q", s.opts.Server)
+}
+
+func (s *Sustained) request(sess *Session, id, seq int) (string, error) {
+	switch s.opts.Server {
+	case "httpd":
+		return roundTrip(sess.Conns[0], fmt.Sprintf("GET /load-%d-%d", id, seq), s.opts.Timeout)
+	case "vsftpd":
+		return roundTrip(sess.Conns[0], "STAT", s.opts.Timeout)
+	case "sshd":
+		return roundTrip(sess.Conns[0], fmt.Sprintf("EXEC load-%d-%d", id, seq), s.opts.Timeout)
+	}
+	return "", fmt.Errorf("workload: sustained: unsupported server %q", s.opts.Server)
+}
+
+// valid checks the reply actually answers this client's request — the
+// correctness half of the mid-traffic scenario: through quiesce, commit
+// and rollback every client must keep getting its own echo back, not a
+// garbled or crossed response.
+func (s *Sustained) valid(resp string, id, seq int) bool {
+	switch s.opts.Server {
+	case "httpd":
+		return strings.Contains(resp, fmt.Sprintf("ka-req=GET /load-%d-%d", id, seq))
+	case "vsftpd":
+		return strings.HasPrefix(resp, "211 ")
+	case "sshd":
+		return strings.Contains(resp, fmt.Sprintf("ran %q", fmt.Sprintf("load-%d-%d", id, seq)))
+	}
+	return false
+}

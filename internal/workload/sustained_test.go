@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// want (GC/scheduler stragglers settle asynchronously).
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d live, want <= %d\n%s",
+				runtime.NumGoroutine(), want, buf[:n])
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSustainedDriverServesAndValidates(t *testing.T) {
+	for _, name := range []string{"httpd", "vsftpd", "sshd"} {
+		t.Run(name, func(t *testing.T) {
+			e, k, spec := launchServer(t, name)
+			defer e.Shutdown()
+			s, err := StartSustained(k, SustainedOptions{
+				Server: name, Port: spec.Port, Clients: 3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for s.Snapshot().Requests == 0 && time.Now().Before(deadline) {
+				time.Sleep(2 * time.Millisecond)
+			}
+			stats := s.Stop()
+			if stats.Requests == 0 {
+				t.Fatalf("no requests completed: %+v (last err %v)", stats, s.LastError())
+			}
+			if stats.Errors != 0 || stats.BadResponses != 0 {
+				t.Fatalf("errors=%d bad=%d (last err %v)", stats.Errors, stats.BadResponses, s.LastError())
+			}
+			if stats.MeanLatency() <= 0 {
+				t.Error("no latency recorded")
+			}
+		})
+	}
+}
+
+// TestSustainedIntervalAccountingExact drives the httpd client with an
+// injected slow response and checks the per-interval accounting is exact:
+// every completed request lands in exactly one bucket (totals match), no
+// bucket outruns the run, and the injected stall leaves its bucket span
+// empty of that client's completions.
+func TestSustainedIntervalAccountingExact(t *testing.T) {
+	e, k, spec := launchServer(t, "httpd")
+	defer e.Shutdown()
+	const interval = 20 * time.Millisecond
+	stall := make(chan struct{})
+	s, err := StartSustained(k, SustainedOptions{
+		Server: "httpd", Port: spec.Port, Clients: 1, Interval: interval,
+		BeforeRequest: func(client, seq int) {
+			if seq == 3 {
+				close(stall)
+				// Slow response: the client sits idle across several
+				// whole buckets before its next completion.
+				time.Sleep(3 * interval)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-stall
+	time.Sleep(4 * interval)
+	stats := s.Stop()
+
+	sumReq, sumErr := 0, 0
+	var sumLat time.Duration
+	for i, iv := range stats.Intervals {
+		if iv.Index != i {
+			t.Fatalf("bucket %d carries index %d", i, iv.Index)
+		}
+		sumReq += iv.Requests
+		sumErr += iv.Errors
+		sumLat += iv.Latency
+	}
+	if sumReq != stats.Requests || sumErr != stats.Errors || sumLat != stats.Latency {
+		t.Fatalf("interval totals (%d req, %d err, %v lat) != cumulative (%d, %d, %v)",
+			sumReq, sumErr, sumLat, stats.Requests, stats.Errors, stats.Latency)
+	}
+	if stats.Errors != 0 {
+		t.Fatalf("unexpected errors: %d (last %v)", stats.Errors, s.LastError())
+	}
+	// The stall spans >= 3 whole buckets with a single closed-loop
+	// client, so at least one interior bucket must be empty — slow
+	// responses show up as holes, not smeared counts.
+	empty := 0
+	for _, iv := range stats.Intervals[:len(stats.Intervals)-1] {
+		if iv.Requests == 0 {
+			empty++
+		}
+	}
+	if empty == 0 {
+		t.Fatalf("injected 3-bucket stall left no empty interval: %+v", stats.Intervals)
+	}
+}
+
+// TestSustainedStopDrains checks shutdown semantics: Stop returns only
+// after every client goroutine exits (no leak), in-flight requests are
+// completed not abandoned, and a second Stop is a no-op.
+func TestSustainedStopDrains(t *testing.T) {
+	e, k, spec := launchServer(t, "httpd")
+	base := runtime.NumGoroutine()
+	s, err := StartSustained(k, SustainedOptions{
+		Server: "httpd", Port: spec.Port, Clients: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Snapshot().Requests == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	stats := s.Stop()
+	if again := s.Stop(); again.Requests < stats.Requests {
+		t.Fatalf("second Stop went backwards: %d < %d", again.Requests, stats.Requests)
+	}
+	if stats.Requests == 0 {
+		t.Fatalf("no requests before Stop (last err %v)", s.LastError())
+	}
+	// All driver goroutines must be gone before the server shuts down —
+	// Stop drains sessions, it does not abandon them.
+	waitGoroutines(t, base)
+	e.Shutdown()
+}
+
+// TestSustainedDelta covers the measurement-window primitive.
+func TestSustainedDelta(t *testing.T) {
+	e, k, spec := launchServer(t, "vsftpd")
+	defer e.Shutdown()
+	s, err := StartSustained(k, SustainedOptions{Server: "vsftpd", Port: spec.Port, Clients: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(15 * time.Millisecond)
+	before := s.Snapshot()
+	// Poll rather than sleep a fixed window: under -race on one CPU the
+	// serving path can stall past any fixed budget.
+	var after SustainedStats
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		time.Sleep(5 * time.Millisecond)
+		after = s.Snapshot()
+		if after.Requests > before.Requests || time.Now().After(deadline) {
+			break
+		}
+	}
+	s.Stop()
+	d := after.Delta(before)
+	if d.Requests != after.Requests-before.Requests || d.Requests <= 0 {
+		t.Fatalf("delta requests = %d (before %d, after %d)", d.Requests, before.Requests, after.Requests)
+	}
+	sum := 0
+	for _, iv := range d.Intervals {
+		sum += iv.Requests
+	}
+	if sum != d.Requests {
+		t.Fatalf("delta interval sum %d != %d", sum, d.Requests)
+	}
+	if d.Elapsed <= 0 || d.Throughput() <= 0 {
+		t.Fatalf("delta elapsed %v throughput %v", d.Elapsed, d.Throughput())
+	}
+}
