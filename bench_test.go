@@ -668,3 +668,33 @@ func BenchmarkOverhead(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCanary reports the post-commit canary evaluation: a plain
+// warm commit (overhead reference), a healthy update finalized through
+// the SLO window, and a forced serving regression caught and
+// auto-reverted under live traffic — RunCanary fails on a missed
+// regression, a wrong response, or a failed response through the revert.
+// Baselines live in BENCH_canary.json.
+func BenchmarkCanary(b *testing.B) {
+	res, err := experiments.RunCanary(experiments.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		b.Run(fmt.Sprintf("%s/%s", row.Server, row.Scenario), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// The measurement was taken once above; report it per run.
+			}
+			b.ReportMetric(row.BaselineRPS, "baseline-rps")
+			b.ReportMetric(row.WindowRPS, "window-rps")
+			b.ReportMetric(float64(row.WindowP99.Microseconds()), "window-p99-µs")
+			b.ReportMetric(float64(row.Intervals), "monitor-ticks")
+			b.ReportMetric(float64(row.Errors+row.BadResponses), "failed-responses")
+		})
+	}
+	b.Run("httpd/canary-overhead", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+		}
+		b.ReportMetric(res.CanaryOverheadPct()*100, "overhead-pct")
+	})
+}

@@ -29,6 +29,7 @@ func main() {
 		downtime    = flag.Bool("downtime", false, "pipelined vs sequential engine: downtime breakdown (always runs both engines with pre-copy armed; -sequential/-precopy do not apply)")
 		warm        = flag.Bool("warm", false, "warm-standby readiness daemon: request->commit latency warm vs cold, plus the fork-heavy per-process revalidation scenario")
 		overhead    = flag.Bool("overhead", false, "live-traffic overhead: warm-daemon duty-cycle cost curve under the real servers, plus mid-traffic warm updates with shadow-verified transfer")
+		canaryExp   = flag.Bool("canary", false, "post-commit canary window: SLO-gated auto-rollback under live traffic, including a forced serving regression")
 		all         = flag.Bool("all", false, "run every experiment")
 		full        = flag.Bool("full", false, "paper-scale parameters (slow)")
 		reps        = flag.Int("reps", 3, "repetitions for Table 3 (best-of)")
@@ -50,6 +51,7 @@ func main() {
 		Downtime:    *downtime,
 		Warm:        *warm,
 		Overhead:    *overhead,
+		Canary:      *canaryExp,
 		All:         *all,
 		Full:        *full,
 		Reps:        *reps,

@@ -24,6 +24,7 @@ type config struct {
 	Downtime    bool
 	Warm        bool
 	Overhead    bool
+	Canary      bool
 	All         bool
 	Full        bool
 	Reps        int
@@ -132,6 +133,14 @@ func run(cfg config, out io.Writer) error {
 		res, err := experiments.RunOverhead(ecfg)
 		if err != nil {
 			return fmt.Errorf("overhead: %w", err)
+		}
+		fmt.Fprintln(out, res.Render())
+	}
+	if cfg.All || cfg.Canary {
+		ran = true
+		res, err := experiments.RunCanary(ecfg)
+		if err != nil {
+			return fmt.Errorf("canary: %w", err)
 		}
 		fmt.Fprintln(out, res.Render())
 	}

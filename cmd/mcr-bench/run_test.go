@@ -85,3 +85,23 @@ func TestRunOverheadExperiment(t *testing.T) {
 		}
 	}
 }
+
+func TestRunCanaryExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run(config{Canary: true, Reps: 1}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Post-commit canary window",
+		"SLO-gated auto-rollback",
+		"reverted",
+		"canary:p99",
+		"finalized",
+		"canary overhead",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in canary output:\n%s", want, got)
+		}
+	}
+}

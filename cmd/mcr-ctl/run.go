@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/canary"
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/servers"
@@ -22,11 +23,12 @@ var errUsage = errors.New("usage error")
 type config struct {
 	Server      string
 	Updates     int
-	Parallelism int  // state-transfer workers (0 = GOMAXPROCS, 1 = sequential)
-	Precopy     bool // arm the incremental pre-copy checkpoint engine
-	Epochs      int  // pre-copy epoch bound (0 = checkpoint default)
-	Sequential  bool // strictly-ordered update engine (pipelining off)
-	Warm        bool // arm the warm-standby readiness daemon
+	Parallelism int    // state-transfer workers (0 = GOMAXPROCS, 1 = sequential)
+	Precopy     bool   // arm the incremental pre-copy checkpoint engine
+	Epochs      int    // pre-copy epoch bound (0 = checkpoint default)
+	Sequential  bool   // strictly-ordered update engine (pipelining off)
+	Warm        bool   // arm the warm-standby readiness daemon
+	Canary      string // SLO spec; non-empty arms the post-commit canary window
 }
 
 // run executes the whole scenario — launch, stage, update, verify the
@@ -41,6 +43,13 @@ func run(cfg config, out io.Writer) error {
 	}
 	if cfg.Epochs > 0 && !cfg.Precopy {
 		return fmt.Errorf("%w: -epochs requires -precopy", errUsage)
+	}
+	var slo canary.SLO
+	if cfg.Canary != "" {
+		var err error
+		if slo, err = canary.ParseSLO(cfg.Canary); err != nil {
+			return fmt.Errorf("%w: -canary: %v", errUsage, err)
+		}
 	}
 	spec, err := servers.SpecByName(cfg.Server)
 	if err != nil {
@@ -68,6 +77,24 @@ func run(cfg config, out io.Writer) error {
 	}
 	defer engine.Shutdown()
 	fmt.Fprintf(out, "launched %s-%s on port %d\n", spec.Name, spec.Version(0).Release, spec.Port)
+
+	// The canary needs live traffic to judge the new version: a small
+	// sustained driver feeds the SLO monitor cumulative samples.
+	var drv *workload.Sustained
+	if cfg.Canary != "" {
+		drv, err = workload.StartSustained(k, workload.SustainedOptions{
+			Server: spec.Name, Port: spec.Port, Clients: 2,
+		})
+		if err != nil {
+			return fmt.Errorf("canary workload: %w", err)
+		}
+		defer drv.Stop()
+		engine.SetCanaryPacing(100*time.Millisecond, 10*time.Millisecond, 2)
+		if err := engine.ArmCanary(slo, workload.CanarySource(drv)); err != nil {
+			return fmt.Errorf("canary: %w", err)
+		}
+		fmt.Fprintf(out, "canary armed: slo %s (100ms window)\n", slo)
+	}
 
 	ctl := core.NewController(engine, ctlPath)
 	for i := 1; i <= updates; i++ {
@@ -102,6 +129,11 @@ func run(cfg config, out io.Writer) error {
 	if err := send("status"); err != nil {
 		return err
 	}
+	if cfg.Canary != "" {
+		if err := send("canary status"); err != nil {
+			return err
+		}
+	}
 	if cfg.Warm {
 		// Give the daemon a moment to absorb the startup traffic, then show
 		// the readiness line (shadow currency + analysis generation).
@@ -118,6 +150,16 @@ func run(cfg config, out io.Writer) error {
 		}
 		if err := send("update " + spec.Version(i).Release); err != nil {
 			return err
+		}
+		if cfg.Canary != "" {
+			// The update returns with the window open; wait for the
+			// verdict so the status line below shows it.
+			if !engine.CanaryWait(30 * time.Second) {
+				return fmt.Errorf("canary window after update %d never resolved", i)
+			}
+			if err := send("canary status"); err != nil {
+				return err
+			}
 		}
 		if err := send("status"); err != nil {
 			return err
@@ -139,6 +181,13 @@ func run(cfg config, out io.Writer) error {
 			fmt.Fprintf(out, "  downtime: %s (%s engine; %d/%d analyses reused)\n",
 				rep.Downtime.Round(10*time.Microsecond), engineName,
 				rep.AnalysesReused, rep.AnalysesReused+rep.ProcsReanalyzed)
+			if rep.Canary {
+				line := "  canary: " + rep.CanaryOutcome
+				if rep.RollbackCause != "" {
+					line += fmt.Sprintf(" (cause=%s)", rep.RollbackCause)
+				}
+				fmt.Fprintln(out, line)
+			}
 			if cfg.Precopy {
 				fmt.Fprintf(out, "  precopy: %d epochs (+%d handoff pages), %d objects shadowed; downtime copy: %d B from shadow, %d B live (%.0f%% off the critical path)\n",
 					rep.Precopy.Epochs, rep.Precopy.FinalPages, rep.Precopy.ObjectsCopied,
@@ -170,6 +219,13 @@ func run(cfg config, out io.Writer) error {
 		if err := send("warm status"); err != nil {
 			return err
 		}
+	}
+	if drv != nil {
+		st := drv.Stop()
+		if st.BadResponses > 0 {
+			return fmt.Errorf("canary workload saw %d wrong responses", st.BadResponses)
+		}
+		fmt.Fprintf(out, "canary workload: %d requests, 0 wrong responses\n", st.Requests)
 	}
 	fmt.Fprintln(out, "done: all updates deployed live; the client session never reconnected")
 	return nil

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/servers"
 )
 
 func TestRunUnknownServerIsUsageError(t *testing.T) {
@@ -123,6 +126,61 @@ func TestRunPipelinedReportsDowntime(t *testing.T) {
 	}
 	got := out.String()
 	for _, want := range []string{"pipelined engine", "analyses reused", "handoff pages"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunMalformedCanarySLOIsUsageError(t *testing.T) {
+	for _, spec := range []string{"p99=fast", "tput=1.5", "err=1", "bogus=1", "p99"} {
+		var out strings.Builder
+		err := run(config{Server: "nginx", Updates: 1, Canary: spec}, &out)
+		if !errors.Is(err, errUsage) {
+			t.Errorf("-canary %q: err = %v, want errUsage", spec, err)
+		}
+	}
+}
+
+func TestRunCanaryFinalizesHealthyUpdate(t *testing.T) {
+	var out strings.Builder
+	if err := run(config{Server: "nginx", Updates: 1, Canary: "p99=500ms,err=0.5"}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"canary armed: slo p99=500ms,err=0.5",
+		"canary=armed",
+		"outcome=finalized",
+		"canary: finalized",
+		"client session alive:",
+		"0 wrong responses",
+		"done: all updates deployed live",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunCanaryRevertsRegressionWithCause(t *testing.T) {
+	// Force the new httpd version to serve every keepalive request slower
+	// than the armed p99 gate: the window must catch it, auto-revert, and
+	// surface the cause in both the status line and the report line.
+	defer servers.SetHttpdDegrade(30*time.Millisecond, 1)()
+	var out strings.Builder
+	if err := run(config{Server: "httpd", Updates: 1, Canary: "p99=2ms"}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"canary armed: slo p99=2ms",
+		"outcome=reverted",
+		`cause="p99`,
+		"canary: reverted (cause=canary:p99)",
+		"client session alive:",
+		"0 wrong responses",
+	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q:\n%s", want, got)
 		}

@@ -1,0 +1,176 @@
+package canary
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSLO(t *testing.T) {
+	good := map[string]SLO{
+		"p99=2ms":                 {MaxP99: 2 * time.Millisecond},
+		"tput=0.8":                {MinThroughputFrac: 0.8},
+		"err=0.01":                {MaxErrorRate: 0.01},
+		"p99=1500us,tput=0.5":     {MaxP99: 1500 * time.Microsecond, MinThroughputFrac: 0.5},
+		"p99=40ms,tput=0.3,err=0": {MaxP99: 40 * time.Millisecond, MinThroughputFrac: 0.3},
+		" p99=1s , err=0.5 ":      {MaxP99: time.Second, MaxErrorRate: 0.5},
+	}
+	for spec, want := range good {
+		got, err := ParseSLO(spec)
+		if err != nil {
+			t.Fatalf("ParseSLO(%q): %v", spec, err)
+		}
+		if got != want {
+			t.Fatalf("ParseSLO(%q) = %+v, want %+v", spec, got, want)
+		}
+		// String() round-trips through ParseSLO.
+		back, err := ParseSLO(got.String())
+		if err != nil || back != got {
+			t.Fatalf("round trip %q -> %q: %+v, %v", spec, got.String(), back, err)
+		}
+	}
+	bad := []string{
+		"", "p99", "p99=", "p99=fast", "p99=-2ms", "p99=0s",
+		"tput=1.5", "tput=0", "tput=no",
+		"err=1", "err=-0.1", "err=x",
+		"latency=2ms", "p99=2ms,bogus=1",
+	}
+	for _, spec := range bad {
+		if s, err := ParseSLO(spec); err == nil {
+			t.Fatalf("ParseSLO(%q) accepted as %+v, want error", spec, s)
+		}
+	}
+}
+
+func TestParseSLOErrZeroSetsNoGate(t *testing.T) {
+	// err=0 parses as "unchecked"; alone it sets no gate and is rejected.
+	if _, err := ParseSLO("err=0"); err == nil || !strings.Contains(err.Error(), "no gate") {
+		t.Fatalf("ParseSLO(err=0) = %v, want no-gate error", err)
+	}
+}
+
+func sampleAt(reqs, errs int, elapsed time.Duration, lat time.Duration, n int) Sample {
+	s := Sample{Requests: reqs, Errors: errs, Elapsed: elapsed}
+	for i := 0; i < n; i++ {
+		s.Hist.Observe(lat)
+	}
+	return s
+}
+
+func TestSLOCheck(t *testing.T) {
+	slo := SLO{MaxP99: 10 * time.Millisecond, MinThroughputFrac: 0.5, MaxErrorRate: 0.1}
+	// Healthy interval.
+	d := sampleAt(100, 0, 100*time.Millisecond, time.Millisecond, 100)
+	if br := slo.Check(1000, d); br != nil {
+		t.Fatalf("healthy interval breached: %v", br)
+	}
+	// p99 breach.
+	d = sampleAt(100, 0, 100*time.Millisecond, 50*time.Millisecond, 100)
+	if br := slo.Check(1000, d); br == nil || br.Metric != "p99" {
+		t.Fatalf("want p99 breach, got %v", br)
+	}
+	// Error-rate breach.
+	d = sampleAt(50, 50, 100*time.Millisecond, time.Millisecond, 50)
+	if br := slo.Check(1000, d); br == nil || br.Metric != "errors" {
+		t.Fatalf("want errors breach, got %v", br)
+	}
+	// Throughput breach: a stalled interval with zero completions still
+	// trips the tput floor (p99 and err gates skip empty intervals).
+	d = Sample{Elapsed: 100 * time.Millisecond}
+	if br := slo.Check(1000, d); br == nil || br.Metric != "throughput" {
+		t.Fatalf("want throughput breach, got %v", br)
+	}
+	// No baseline -> tput gate cannot fire.
+	if br := slo.Check(0, d); br != nil {
+		t.Fatalf("tput gate fired without baseline: %v", br)
+	}
+	// Breach strings are human-readable.
+	br := slo.Check(1000, d)
+	if s := br.String(); !strings.Contains(s, "throughput") {
+		t.Fatalf("breach string %q", s)
+	}
+}
+
+func TestMonitorGraceAndStickiness(t *testing.T) {
+	slo := SLO{MaxP99: time.Millisecond}
+	start := sampleAt(10, 0, 10*time.Millisecond, 100*time.Microsecond, 10)
+	m := NewMonitor(slo, 1000, start, 2)
+
+	// Interval 1: commit transient — latencies equal to the downtime would
+	// breach, but fall inside the grace window.
+	cum := start
+	slow := cum
+	slow.Requests += 4
+	slow.Elapsed += 10 * time.Millisecond
+	for i := 0; i < 4; i++ {
+		slow.Hist.Observe(200 * time.Millisecond)
+	}
+	if br := m.Tick(slow); br != nil {
+		t.Fatalf("grace interval 1 breached: %v", br)
+	}
+	// Interval 2: still in grace.
+	cum = slow
+	cum.Requests += 10
+	cum.Elapsed += 10 * time.Millisecond
+	for i := 0; i < 10; i++ {
+		cum.Hist.Observe(100 * time.Microsecond)
+	}
+	if br := m.Tick(cum); br != nil {
+		t.Fatalf("grace interval 2 breached: %v", br)
+	}
+	// Interval 3: healthy.
+	next := cum
+	next.Requests += 10
+	next.Elapsed += 10 * time.Millisecond
+	for i := 0; i < 10; i++ {
+		next.Hist.Observe(100 * time.Microsecond)
+	}
+	if br := m.Tick(next); br != nil {
+		t.Fatalf("healthy interval breached: %v", br)
+	}
+	st := m.Status()
+	if st.Intervals != 3 || st.Breach != nil || st.LastRPS <= 0 {
+		t.Fatalf("status %+v", st)
+	}
+	// Interval 4: degraded — breaches, and the verdict is sticky.
+	bad := next
+	bad.Requests += 5
+	bad.Elapsed += 10 * time.Millisecond
+	for i := 0; i < 5; i++ {
+		bad.Hist.Observe(30 * time.Millisecond)
+	}
+	br := m.Tick(bad)
+	if br == nil || br.Metric != "p99" || br.Interval != 4 {
+		t.Fatalf("want p99 breach at interval 4, got %+v", br)
+	}
+	if again := m.Tick(bad); again != br {
+		t.Fatalf("breach not sticky: %p vs %p", again, br)
+	}
+	if st := m.Status(); st.Breach != br {
+		t.Fatalf("status lost the breach: %+v", st)
+	}
+}
+
+func TestSampleDeltaAndRates(t *testing.T) {
+	a := sampleAt(100, 2, time.Second, time.Millisecond, 100)
+	b := sampleAt(160, 5, 1500*time.Millisecond, time.Millisecond, 100)
+	for i := 0; i < 60; i++ {
+		b.Hist.Observe(2 * time.Millisecond)
+	}
+	d := b.Delta(a)
+	if d.Requests != 60 || d.Errors != 3 || d.Elapsed != 500*time.Millisecond {
+		t.Fatalf("delta %+v", d)
+	}
+	if d.Hist.Count() != 60 {
+		t.Fatalf("delta hist count %d", d.Hist.Count())
+	}
+	if tput := d.Throughput(); tput != 120 {
+		t.Fatalf("throughput %v", tput)
+	}
+	if er := d.ErrorRate(); er != 3.0/63.0 {
+		t.Fatalf("error rate %v", er)
+	}
+	if (Sample{}).Throughput() != 0 || (Sample{}).ErrorRate() != 0 {
+		t.Fatal("zero sample rates should be 0")
+	}
+}

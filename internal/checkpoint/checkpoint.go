@@ -299,6 +299,16 @@ func (s *Snapshotter) Discard() {
 	}
 }
 
+// Discarded reports whether Discard has run — i.e. whether every dirty
+// bit this snapshotter consumed has been handed back. The canary fault
+// tests use it to pin down the consumed-bit restore contract the
+// adoptable window relies on.
+func (s *Snapshotter) Discarded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.discarded
+}
+
 // ProcShadow holds one process's checkpoint state: its address space
 // (which carries the consumed-page accounting) and the pre-copied
 // contents of the objects that sat on dirty pages, keyed by object

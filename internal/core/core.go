@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/canary"
 	"repro/internal/checkpoint"
 	"repro/internal/kernel"
 	"repro/internal/mem"
@@ -27,6 +28,7 @@ import (
 var (
 	ErrNotRunning   = errors.New("core: no running instance")
 	ErrUpdateFailed = errors.New("core: update failed and was rolled back")
+	ErrCanaryOpen   = errors.New("core: a canary window is open; wait for it to resolve")
 )
 
 // Options configures the engine.
@@ -107,6 +109,20 @@ type Options struct {
 	// the downtime harness injects residual writes to exercise the
 	// handoff epoch deterministically.
 	BeforeQuiesce func(old *program.Instance)
+	// CanaryWindow is how long a committed update stays revertible when a
+	// canary is armed (default 250ms): the old instance is held quiesced
+	// and adoptable while the live workload drives the new version, and
+	// an SLO breach rolls back to it. Only meaningful after ArmCanary.
+	CanaryWindow time.Duration
+	// CanaryInterval paces the canary monitor's SLO evaluation ticks
+	// (default 25ms).
+	CanaryInterval time.Duration
+	// CanaryGrace is how many initial monitor intervals are exempt from
+	// breaching (default 2; negative = none): requests that blocked
+	// across the update's quiesce complete just after commit with latency
+	// roughly equal to the downtime, which is the old version's cost, not
+	// the new version's behavior.
+	CanaryGrace int
 	// PolicySet marks Policy as explicitly provided (a zero Policy is the
 	// fully-precise ablation).
 	PolicySet bool
@@ -124,6 +140,15 @@ func (o *Options) fill() {
 	}
 	if o.StartupTimeout == 0 {
 		o.StartupTimeout = 10 * time.Second
+	}
+	if o.CanaryWindow == 0 {
+		o.CanaryWindow = 250 * time.Millisecond
+	}
+	if o.CanaryInterval == 0 {
+		o.CanaryInterval = 25 * time.Millisecond
+	}
+	if o.CanaryGrace == 0 {
+		o.CanaryGrace = 2
 	}
 }
 
@@ -173,6 +198,19 @@ type UpdateReport struct {
 
 	RolledBack bool
 	Reason     error
+	// RollbackCause classifies RolledBack: "update" for a pre-commit
+	// conflict or failure (the three-phase machinery aborted and the old
+	// version resumed from its checkpoint), "canary:<metric>" for a
+	// post-commit SLO breach that reverted to the adoptable old instance.
+	RollbackCause string
+
+	// Canary reports the update committed into a canary window instead of
+	// finalizing immediately. CanaryOutcome is "open" while the window is
+	// running and settles to "finalized" or "reverted"; the canary and
+	// rollback fields of this report are written by the window's monitor
+	// goroutine, so callers must Engine.CanaryWait before reading them.
+	Canary        bool
+	CanaryOutcome string
 }
 
 // TransferWork returns the total mutable-tracing wall clock: discovery
@@ -195,6 +233,18 @@ type Engine struct {
 	warmOn   bool // warm-standby mode enabled (armed/re-armed around updates)
 	updating bool // an Update is in flight (blocks ArmWarm)
 	daemon   *checkpoint.Daemon
+
+	// Canary state: armed SLO and workload feed, the open window (nil
+	// when none), the baseline throughput captured at the last Update's
+	// start, and the settled verdict of the most recent window.
+	canaryOn      bool
+	canarySLO     canary.SLO
+	canarySrc     func() canary.Sample
+	canaryRun     *canaryRun
+	canaryBase    float64
+	canaryOutcome string
+	canaryCause   string
+	canaryFinal   canary.MonitorStatus
 }
 
 // NewEngine builds an engine over the shared kernel.
@@ -442,10 +492,24 @@ func (e *Engine) WarmWait(timeout time.Duration) bool {
 // produce bit-identical results.
 func (e *Engine) Update(v2 *program.Version) (*UpdateReport, error) {
 	e.mu.Lock()
+	if e.canaryRun != nil {
+		e.mu.Unlock()
+		return nil, ErrCanaryOpen
+	}
 	old := e.current
+	src := e.canarySrc
+	canaryArmed := e.canaryOn && src != nil
 	e.mu.Unlock()
 	if old == nil {
 		return nil, ErrNotRunning
+	}
+	if canaryArmed {
+		// The pre-update throughput anchors the canary's relative
+		// throughput floor; sampled before anything perturbs the workload.
+		base := src().Throughput()
+		e.mu.Lock()
+		e.canaryBase = base
+		e.mu.Unlock()
 	}
 	rep := &UpdateReport{}
 	start := time.Now()
@@ -565,12 +629,24 @@ func (e *Engine) restart(old *program.Instance, v2 *program.Version,
 	return newInst, nil
 }
 
-// commit finalizes a successful update: collect inherited-but-unused fds,
-// leave reserved mode, terminate the old version and resume the new one.
+// commit concludes a successful update: collect inherited-but-unused fds,
+// leave reserved mode, then either finalize immediately (terminate the
+// old version, release its pid reservations, resume the new one) or —
+// when a canary is armed — open the adoptable window: the old instance
+// stays quiesced and re-adoptable, RESTART resources (the old namespace's
+// pid reservations in the new instance) are held, and finalization is
+// deferred to the window's verdict.
 func (e *Engine) commit(old, newInst *program.Instance, rep *UpdateReport) {
 	rep.FDsCollected = reinit.CollectUnused(old, newInst)
 	reinit.ReservedModeOff(newInst)
+	if e.openCanary(old, newInst, rep) {
+		return
+	}
 	old.Terminate()
+	// Finalization releases the pid side of global separability: the old
+	// id space no longer needs protecting once the old instance can never
+	// be re-adopted.
+	reinit.ReleaseIDs(newInst.Root())
 	newInst.Resume()
 	e.mu.Lock()
 	e.current = newInst
@@ -858,13 +934,23 @@ func (e *Engine) rollback(old, new *program.Instance, rep *UpdateReport, cause e
 	}
 	old.Resume()
 	rep.RolledBack = true
+	rep.RollbackCause = "update"
 	rep.Reason = cause
 	return fmt.Errorf("%w: %v", ErrUpdateFailed, cause)
 }
 
-// Shutdown terminates the running instance, stopping the warm daemon
-// first so no warm pass races the teardown.
+// Shutdown terminates the running instance, resolving any open canary
+// window (the new version is accepted — shutdown is not a verdict) and
+// stopping the warm daemon first so no background work races the
+// teardown.
 func (e *Engine) Shutdown() {
+	e.mu.Lock()
+	run := e.canaryRun
+	e.mu.Unlock()
+	if run != nil {
+		run.close()
+		<-run.done
+	}
 	e.mu.Lock()
 	inst := e.current
 	e.current = nil

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunCanary exercises the canary evaluation at quick scale: the
+// httpd forced regression must be caught by the SLO window and
+// auto-reverted with zero failed responses, the healthy updates must
+// finalize, and the plain warm commit provides the overhead reference.
+// RunCanary fails internally on wrong responses, a missed regression or
+// a missing checksum, so the correctness surface is enforced before this
+// test sees the result.
+func TestRunCanary(t *testing.T) {
+	res, err := RunCanary(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"httpd/plain":      "committed",
+		"httpd/healthy":    "finalized",
+		"httpd/regression": "reverted",
+		"sshd/healthy":     "finalized",
+	}
+	got := map[string]string{}
+	for _, row := range res.Rows {
+		got[row.Server+"/"+row.Scenario] = row.Outcome
+		if row.BadResponses != 0 {
+			t.Errorf("%s %s: %d wrong responses", row.Server, row.Scenario, row.BadResponses)
+		}
+		if row.TransferChecksum == 0 {
+			t.Errorf("%s %s: no transfer checksum", row.Server, row.Scenario)
+		}
+		if row.Scenario == "regression" {
+			if !strings.HasPrefix(row.RollbackCause, "canary:p99") {
+				t.Errorf("regression cause = %q, want canary:p99", row.RollbackCause)
+			}
+			if row.Errors != 0 {
+				t.Errorf("regression saw %d failed responses", row.Errors)
+			}
+			if row.RequestsAfter == 0 {
+				t.Error("old version served nothing after the revert")
+			}
+		}
+	}
+	for key, outcome := range want {
+		if got[key] != outcome {
+			t.Errorf("%s outcome = %q, want %q", key, got[key], outcome)
+		}
+	}
+	// The canary overhead is recorded, not hard-gated here: quick-scale
+	// windows on a loaded CI box are too noisy for a 5% throughput bar.
+	// The recorded BENCH_canary.json run enforces it.
+	t.Logf("canary overhead: %.2f%%", res.CanaryOverheadPct()*100)
+	t.Log("\n" + res.Render())
+}

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"strings"
 	"time"
@@ -13,6 +12,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/mem"
 	"repro/internal/program"
+	"repro/internal/trace"
 	"repro/internal/types"
 )
 
@@ -144,18 +144,7 @@ func dirtyWholeHeap(p *program.Proc) error {
 // contents, in canonical address order — so two updates can be compared
 // bit for bit without holding both instances alive.
 func stateSum(inst *program.Instance) (uint64, error) {
-	h := fnv.New64a()
-	for _, p := range inst.Procs() {
-		for _, o := range p.Index().All() {
-			fmt.Fprintf(h, "%x:%x:%d:%s;", o.Addr, o.Size, o.Kind, o.Name)
-			buf := make([]byte, o.Size)
-			if err := p.Space().ReadAt(o.Addr, buf); err != nil {
-				return 0, err
-			}
-			h.Write(buf)
-		}
-	}
-	return h.Sum64(), nil
+	return trace.StateDigest(inst)
 }
 
 // downtimeRun measures one engine mode: launch, dirty the whole heap

@@ -27,6 +27,8 @@ type OverheadPoint struct {
 	WarmRPS     float64
 	BaselineLat time.Duration // mean round trip
 	WarmLat     time.Duration
+	BaselineP99 time.Duration // histogram tail over the window
+	WarmP99     time.Duration
 
 	Passes       int     // daemon passes inside the warm window
 	Epochs       int     // shadow epochs among them
@@ -175,6 +177,8 @@ func overheadSweep(cfg Config, name string, res *OverheadResult) error {
 			WarmRPS:      warm.Throughput(),
 			BaselineLat:  base.MeanLatency(),
 			WarmLat:      warm.MeanLatency(),
+			BaselineP99:  base.P99(),
+			WarmP99:      warm.P99(),
 			Passes:       ws1.Passes - ws0.Passes,
 			Epochs:       ws1.Epochs - ws0.Epochs,
 			Yields:       ws1.Yields - ws0.Yields,
@@ -310,11 +314,12 @@ func (r *OverheadResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Live-traffic overhead: warm-daemon duty-cycle cost curve (%d clients/server, %s windows, GOMAXPROCS=%d)\n",
 		r.Clients, r.Window, r.GOMAXPROCS)
-	fmt.Fprintf(&b, "%-8s %6s %12s %12s %9s %8s %8s %8s %9s %6s\n",
-		"server", "duty", "base-rps", "warm-rps", "overhead", "passes", "pass-hz", "yields", "meas-duty", "lag")
+	fmt.Fprintf(&b, "%-8s %6s %12s %12s %9s %10s %10s %8s %8s %8s %9s %6s\n",
+		"server", "duty", "base-rps", "warm-rps", "overhead", "base-p99", "warm-p99", "passes", "pass-hz", "yields", "meas-duty", "lag")
 	for _, p := range r.Points {
-		fmt.Fprintf(&b, "%-8s %6.2f %12.0f %12.0f %8.1f%% %8d %8.0f %8d %9.2f %6d\n",
+		fmt.Fprintf(&b, "%-8s %6.2f %12.0f %12.0f %8.1f%% %10s %10s %8d %8.0f %8d %9.2f %6d\n",
 			p.Server, p.DutyCycle, p.BaselineRPS, p.WarmRPS, p.OverheadPct()*100,
+			p.BaselineP99.Round(10*time.Microsecond), p.WarmP99.Round(10*time.Microsecond),
 			p.Passes, p.PassHz, p.Yields, p.MeasuredDuty, p.ShadowLagEnd)
 	}
 	b.WriteString("mid-traffic warm updates (responses validated through quiesce/commit/rollback; shadow-verified transfer):\n")

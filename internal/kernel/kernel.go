@@ -216,6 +216,34 @@ func (p *Proc) ReservePids(pids []Pid) {
 	}
 }
 
+// ReleaseReservedPids drops every outstanding pid reservation in this
+// process's namespace and returns how many were released. MCR calls it
+// when an update is finalized — i.e. once the old instance can no longer
+// be re-adopted (plain commit, or canary-window close): the old id space
+// no longer needs protecting, so natural allocation may reuse it.
+func (p *Proc) ReleaseReservedPids() int {
+	p.k.mu.Lock()
+	defer p.k.mu.Unlock()
+	n := len(p.ns.reserved)
+	for pid := range p.ns.reserved {
+		delete(p.ns.reserved, pid)
+	}
+	return n
+}
+
+// ReservedPids returns the pids currently reserved (and not yet consumed
+// by a pinned creation) in this process's namespace, ascending.
+func (p *Proc) ReservedPids() []Pid {
+	p.k.mu.Lock()
+	defer p.k.mu.Unlock()
+	out := make([]Pid, 0, len(p.ns.reserved))
+	for pid := range p.ns.reserved {
+		out = append(out, pid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // NamespacePids returns every pid currently bound in this process's
 // namespace (processes and thread ids, including ids of exited threads
 // whose process is still alive), ascending.

@@ -525,6 +525,37 @@ func TestPidReservation(t *testing.T) {
 	}
 }
 
+func TestReleaseReservedPids(t *testing.T) {
+	k := New()
+	p := k.NewProc()
+	p.ReservePids([]Pid{3, 4, 5})
+	// One reservation consumed by a pin, two still outstanding.
+	p.PinNextPid(4)
+	if tid, err := p.NewThreadID(); err != nil || tid != 4 {
+		t.Fatalf("pinned tid = %d, %v; want 4", tid, err)
+	}
+	if got := p.ReservedPids(); len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("ReservedPids = %v, want [3 5]", got)
+	}
+	if n := p.ReleaseReservedPids(); n != 2 {
+		t.Fatalf("released %d reservations, want 2", n)
+	}
+	if got := p.ReservedPids(); len(got) != 0 {
+		t.Fatalf("reservations survive release: %v", got)
+	}
+	// Released ids are fair game for natural allocation again: with 3 and
+	// 5 free, the next two allocations from a fresh scan must be able to
+	// land on them. (Allocation scans ascend from the last handed-out id,
+	// so just check no error and no reserved-skip panic.)
+	if _, err := p.NewThreadID(); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent.
+	if n := p.ReleaseReservedPids(); n != 0 {
+		t.Fatalf("second release freed %d", n)
+	}
+}
+
 func TestNamespacePidsListsThreadsAndProcs(t *testing.T) {
 	k := New()
 	p := k.NewProc()

@@ -277,6 +277,17 @@ func ReserveIDs(old *program.Instance, newRoot *program.Proc) {
 	newRoot.KProc().ReservePids(old.Root().KProc().NamespacePids())
 }
 
+// ReleaseIDs is ReserveIDs' closing bracket: once an update is finalized
+// — the old instance terminated for good, whether at plain commit or at
+// the close of a canary window — the old version's id space no longer
+// needs protecting and the outstanding reservations are dropped, letting
+// natural allocation reuse those pids. While a canary window is open the
+// engine deliberately does NOT call this: the old instance is still
+// adoptable, and a rollback must find its pids unclaimed.
+func ReleaseIDs(newRoot *program.Proc) int {
+	return newRoot.KProc().ReleaseReservedPids()
+}
+
 // InheritPlacement applies the memory side of global inheritance to the
 // new instance's root before startup: the placement plan for immutable
 // startup-time heap objects and explicit reservations for immutable

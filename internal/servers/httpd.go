@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/kernel"
 	"repro/internal/mem"
@@ -63,6 +65,42 @@ func SetHttpdPoolThreads(n int) int {
 		httpdPoolThreads = n
 	}
 	return old
+}
+
+// httpdDegrade injects a per-request serving delay into keepalive
+// handlers of versions whose update sequence is >= httpdDegradeFrom.
+// This is the canary experiment's forced-bad update: the new version
+// transfers state perfectly but serves every request slower, the exact
+// regression a transfer-correctness check cannot see and the post-commit
+// SLO window must. Atomics, not a mutex: the knob is flipped by the
+// harness while handler threads are serving.
+var (
+	httpdDegradeNanos atomic.Int64
+	httpdDegradeFrom  atomic.Int64
+)
+
+// SetHttpdDegrade arms (delay > 0) or clears (delay <= 0) the forced
+// latency regression for versions with Seq >= fromSeq, returning a
+// restore function.
+func SetHttpdDegrade(delay time.Duration, fromSeq int) func() {
+	prevD, prevF := httpdDegradeNanos.Load(), httpdDegradeFrom.Load()
+	if delay <= 0 {
+		delay = 0
+	}
+	httpdDegradeNanos.Store(int64(delay))
+	httpdDegradeFrom.Store(int64(fromSeq))
+	return func() {
+		httpdDegradeNanos.Store(prevD)
+		httpdDegradeFrom.Store(prevF)
+	}
+}
+
+func httpdDegradeFor(seq int) time.Duration {
+	d := httpdDegradeNanos.Load()
+	if d > 0 && int64(seq) >= httpdDegradeFrom.Load() {
+		return time.Duration(d)
+	}
+	return 0
 }
 
 func httpdTypes(i int) *types.Registry {
@@ -566,6 +604,9 @@ func httpdKeepaliveMain(banner string, cfd int, region *mem.RegionAllocator, rec
 					return program.ErrLoopExit
 				}
 				return err
+			}
+			if d := httpdDegradeFor(p.Instance().Version().Seq); d > 0 {
+				time.Sleep(d)
 			}
 			as := p.Space()
 			conf := p.MustGlobal("httpd_conf")

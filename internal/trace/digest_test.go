@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStateDigest pins the digest's two contractual properties: it is
+// stable across reads of an untouched instance (taking it twice — or
+// letting the instance sit quiesced in between, the canary-window case —
+// changes nothing), and any byte of drift in any object changes it.
+func TestStateDigest(t *testing.T) {
+	inst := runV1(t, 3)
+	defer inst.Terminate()
+
+	d1, err := StateDigest(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 == 0 {
+		t.Fatal("zero digest")
+	}
+	d2, err := StateDigest(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 != d1 {
+		t.Fatalf("digest not stable: %#x vs %#x", d1, d2)
+	}
+
+	// The adoptable-window scenario in miniature: resume, let the server
+	// sit idle, re-quiesce — no traffic means no drift.
+	inst.Resume()
+	time.Sleep(2 * time.Millisecond)
+	if _, err := inst.Quiesce(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	d3, err := StateDigest(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 != d1 {
+		t.Fatalf("idle window drifted state: %#x vs %#x", d1, d3)
+	}
+
+	// One-byte mutation must change the digest.
+	root := inst.Root()
+	objs := root.Index().All()
+	if len(objs) == 0 {
+		t.Fatal("no objects")
+	}
+	o := objs[len(objs)/2]
+	buf := make([]byte, 1)
+	if err := root.Space().ReadAt(o.Addr, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Space().WriteAt(o.Addr, []byte{buf[0] ^ 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	d4, err := StateDigest(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d4 == d1 {
+		t.Fatal("one-byte mutation left the digest unchanged")
+	}
+}

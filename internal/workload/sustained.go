@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/canary"
 	"repro/internal/kernel"
 )
 
@@ -50,7 +51,8 @@ type IntervalStat struct {
 	Index    int
 	Requests int
 	Errors   int
-	Latency  time.Duration // summed over the bucket's requests
+	Latency  time.Duration    // summed over the bucket's requests
+	Hist     canary.Histogram // per-bucket latency distribution
 }
 
 // SustainedStats is a snapshot of a sustained driver's counters.
@@ -60,6 +62,7 @@ type SustainedStats struct {
 	BadResponses int           // protocol-valid reply with wrong content
 	Latency      time.Duration // summed over all requests
 	Elapsed      time.Duration
+	Hist         canary.Histogram // cumulative latency distribution
 	Intervals    []IntervalStat
 }
 
@@ -79,6 +82,12 @@ func (s SustainedStats) MeanLatency() time.Duration {
 	return s.Latency / time.Duration(s.Requests)
 }
 
+// P99 returns the 99th-percentile round-trip latency (upper histogram
+// bucket bound; error bounded by one bucket width).
+func (s SustainedStats) P99() time.Duration {
+	return s.Hist.Quantile(0.99)
+}
+
 // Delta returns the stats accumulated since an earlier snapshot (the
 // measurement-window primitive: Snapshot, serve, Snapshot, Delta).
 func (s SustainedStats) Delta(since SustainedStats) SustainedStats {
@@ -88,6 +97,7 @@ func (s SustainedStats) Delta(since SustainedStats) SustainedStats {
 		BadResponses: s.BadResponses - since.BadResponses,
 		Latency:      s.Latency - since.Latency,
 		Elapsed:      s.Elapsed - since.Elapsed,
+		Hist:         s.Hist.Delta(since.Hist),
 	}
 	for _, iv := range s.Intervals {
 		if iv.Index >= len(since.Intervals) {
@@ -100,6 +110,7 @@ func (s SustainedStats) Delta(since SustainedStats) SustainedStats {
 			Requests: iv.Requests - prev.Requests,
 			Errors:   iv.Errors - prev.Errors,
 			Latency:  iv.Latency - prev.Latency,
+			Hist:     iv.Hist.Delta(prev.Hist),
 		}); rem.Requests > 0 || rem.Errors > 0 {
 			d.Intervals = append(d.Intervals, rem)
 		}
@@ -131,7 +142,7 @@ type Sustained struct {
 func StartSustained(k *kernel.Kernel, opts SustainedOptions) (*Sustained, error) {
 	opts.fill()
 	switch opts.Server {
-	case "httpd", "vsftpd", "sshd":
+	case "httpd", "nginx", "vsftpd", "sshd":
 	default:
 		return nil, fmt.Errorf("workload: sustained: unsupported server %q", opts.Server)
 	}
@@ -206,8 +217,10 @@ func (s *Sustained) record(took time.Duration, err error, bad bool) {
 	}
 	s.stats.Requests++
 	s.stats.Latency += took
+	s.stats.Hist.Observe(took)
 	iv.Requests++
 	iv.Latency += took
+	iv.Hist.Observe(took)
 	if bad {
 		s.stats.BadResponses++
 	}
@@ -261,6 +274,8 @@ func (s *Sustained) connect(id int) (*Session, error) {
 	switch s.opts.Server {
 	case "httpd":
 		return OpenKeepalive(s.k, s.opts.Port, false)
+	case "nginx":
+		return OpenKeepalive(s.k, s.opts.Port, true)
 	case "vsftpd":
 		return OpenFTP(s.k, s.opts.Port, fmt.Sprintf("load%d", id))
 	case "sshd":
@@ -273,12 +288,39 @@ func (s *Sustained) request(sess *Session, id, seq int) (string, error) {
 	switch s.opts.Server {
 	case "httpd":
 		return roundTrip(sess.Conns[0], fmt.Sprintf("GET /load-%d-%d", id, seq), s.opts.Timeout)
+	case "nginx":
+		return roundTrip(sess.Conns[0], fmt.Sprintf("GET /load-%d-%d HTTP/1.1", id, seq), s.opts.Timeout)
 	case "vsftpd":
 		return roundTrip(sess.Conns[0], "STAT", s.opts.Timeout)
 	case "sshd":
 		return roundTrip(sess.Conns[0], fmt.Sprintf("EXEC load-%d-%d", id, seq), s.opts.Timeout)
 	}
 	return "", fmt.Errorf("workload: sustained: unsupported server %q", s.opts.Server)
+}
+
+// Sample returns just the cumulative counters and latency histogram —
+// the cheap snapshot a canary monitor polls every few milliseconds.
+// Snapshot also deep-copies every per-interval histogram under the
+// driver mutex; polling that at monitor cadence would contend with the
+// serving path and show up as canary overhead.
+func (s *Sustained) Sample() canary.Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return canary.Sample{
+		Requests: s.stats.Requests,
+		Errors:   s.stats.Errors,
+		Elapsed:  time.Since(s.start),
+		Hist:     s.stats.Hist,
+	}
+}
+
+// CanarySource adapts a sustained driver into the cumulative-sample feed
+// a canary monitor polls. Note BadResponses intentionally does not map
+// to Errors — a protocol-valid wrong answer is a transfer-correctness
+// bug the harness asserts to be zero, not a behavioral regression for
+// the SLO to arbitrate.
+func CanarySource(s *Sustained) func() canary.Sample {
+	return s.Sample
 }
 
 // valid checks the reply actually answers this client's request — the
@@ -289,6 +331,11 @@ func (s *Sustained) valid(resp string, id, seq int) bool {
 	switch s.opts.Server {
 	case "httpd":
 		return strings.Contains(resp, fmt.Sprintf("ka-req=GET /load-%d-%d", id, seq))
+	case "nginx":
+		// nginx replies carry a request counter, not a per-request echo:
+		// validate the protocol frame and body marker.
+		return strings.HasPrefix(resp, "HTTP/1.1 200 OK banner=") &&
+			strings.Contains(resp, "body=<html>hello from nginx</html>")
 	case "vsftpd":
 		return strings.HasPrefix(resp, "211 ")
 	case "sshd":

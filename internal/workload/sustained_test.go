@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"repro/internal/canary"
 )
 
 // waitGoroutines polls until the goroutine count drops back to at most
@@ -27,7 +29,7 @@ func waitGoroutines(t *testing.T, want int) {
 }
 
 func TestSustainedDriverServesAndValidates(t *testing.T) {
-	for _, name := range []string{"httpd", "vsftpd", "sshd"} {
+	for _, name := range []string{"httpd", "nginx", "vsftpd", "sshd"} {
 		t.Run(name, func(t *testing.T) {
 			e, k, spec := launchServer(t, name)
 			defer e.Shutdown()
@@ -50,6 +52,14 @@ func TestSustainedDriverServesAndValidates(t *testing.T) {
 			}
 			if stats.MeanLatency() <= 0 {
 				t.Error("no latency recorded")
+			}
+			// Every completed request lands in the latency histogram, and
+			// the p99 never undercuts the mean's bucket.
+			if stats.Hist.Count() != int64(stats.Requests) {
+				t.Fatalf("hist count %d != requests %d", stats.Hist.Count(), stats.Requests)
+			}
+			if stats.P99() <= 0 {
+				t.Error("no p99 recorded")
 			}
 		})
 	}
@@ -85,6 +95,7 @@ func TestSustainedIntervalAccountingExact(t *testing.T) {
 
 	sumReq, sumErr := 0, 0
 	var sumLat time.Duration
+	var sumHist canary.Histogram
 	for i, iv := range stats.Intervals {
 		if iv.Index != i {
 			t.Fatalf("bucket %d carries index %d", i, iv.Index)
@@ -92,10 +103,14 @@ func TestSustainedIntervalAccountingExact(t *testing.T) {
 		sumReq += iv.Requests
 		sumErr += iv.Errors
 		sumLat += iv.Latency
+		sumHist.Merge(iv.Hist)
 	}
 	if sumReq != stats.Requests || sumErr != stats.Errors || sumLat != stats.Latency {
 		t.Fatalf("interval totals (%d req, %d err, %v lat) != cumulative (%d, %d, %v)",
 			sumReq, sumErr, sumLat, stats.Requests, stats.Errors, stats.Latency)
+	}
+	if sumHist != stats.Hist {
+		t.Fatalf("interval histograms do not sum to the cumulative histogram")
 	}
 	if stats.Errors != 0 {
 		t.Fatalf("unexpected errors: %d (last %v)", stats.Errors, s.LastError())
@@ -178,5 +193,62 @@ func TestSustainedDelta(t *testing.T) {
 	}
 	if d.Elapsed <= 0 || d.Throughput() <= 0 {
 		t.Fatalf("delta elapsed %v throughput %v", d.Elapsed, d.Throughput())
+	}
+	// Every request completed inside the window is in the window's
+	// histogram, and nothing from before it.
+	if d.Hist.Count() != int64(d.Requests) {
+		t.Fatalf("delta hist count %d != delta requests %d", d.Hist.Count(), d.Requests)
+	}
+}
+
+// TestSustainedDeltaQuantiles is the regression test for the quantile
+// fields in Delta: the pre-histogram Delta subtracted only counters, so a
+// measurement window's p99 would silently include every sample since
+// driver start. A fast window after a slow history must report the
+// window's tail, not the history's.
+func TestSustainedDeltaQuantiles(t *testing.T) {
+	var before SustainedStats
+	before.Requests = 100
+	before.Elapsed = time.Second
+	before.Latency = 100 * 50 * time.Millisecond
+	before.Intervals = []IntervalStat{{Index: 0, Requests: 100, Latency: before.Latency}}
+	for i := 0; i < 100; i++ {
+		before.Hist.Observe(50 * time.Millisecond)
+		before.Intervals[0].Hist.Observe(50 * time.Millisecond)
+	}
+
+	after := before
+	after.Intervals = append([]IntervalStat(nil), before.Intervals...)
+	after.Requests += 50
+	after.Elapsed += 500 * time.Millisecond
+	after.Latency += 50 * time.Millisecond
+	after.Intervals = append(after.Intervals, IntervalStat{Index: 1, Requests: 50, Latency: 50 * time.Millisecond})
+	for i := 0; i < 50; i++ {
+		after.Hist.Observe(time.Millisecond)
+		after.Intervals[1].Hist.Observe(time.Millisecond)
+	}
+
+	d := after.Delta(before)
+	if d.Requests != 50 || d.Hist.Count() != 50 {
+		t.Fatalf("delta requests=%d hist=%d", d.Requests, d.Hist.Count())
+	}
+	if p99 := d.P99(); p99 > 2*time.Millisecond {
+		t.Fatalf("window p99 %v polluted by pre-window history", p99)
+	}
+	if cum := after.P99(); cum < 10*time.Millisecond {
+		t.Fatalf("cumulative p99 %v lost its history", cum)
+	}
+	// Interval-level histograms subtract too: the carried-over interval 0
+	// has no new samples and is dropped, interval 1 survives intact.
+	if len(d.Intervals) != 1 || d.Intervals[0].Index != 1 {
+		t.Fatalf("delta intervals %+v", d.Intervals)
+	}
+	if d.Intervals[0].Hist.Count() != 50 {
+		t.Fatalf("delta interval hist count %d", d.Intervals[0].Hist.Count())
+	}
+	// A snapshot deltaed against itself leaves nothing (Delta operates on
+	// dense driver snapshots).
+	if z := after.Delta(after); z.Hist.Count() != 0 || len(z.Intervals) != 0 {
+		t.Fatalf("self-delta not empty: %+v", z)
 	}
 }
