@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	mcr-ctl -server nginx -updates 3 [-parallelism N] [-precopy [-epochs N]] [-sequential] [-warm] [-canary SLO]
+//	mcr-ctl -server nginx -updates 3 [-parallelism N] [-precopy [-epochs N]] [-sequential] [-warm] [-canary SLO] [-trace-out FILE]
 package main
 
 import (
@@ -30,12 +30,13 @@ func main() {
 		sequential  = flag.Bool("sequential", false, "use the strictly-ordered update engine (pipelining off)")
 		warm        = flag.Bool("warm", false, "arm the warm-standby readiness daemon (updates start at quiesce; shows the warm status line)")
 		canarySpec  = flag.String("canary", "", "arm a post-commit canary window with this SLO (e.g. p99=5ms,tput=0.5,err=0.01); a breach auto-reverts the update")
+		traceOut    = flag.String("trace-out", "", "arm the flight recorder and write a Chrome-trace-event JSON file here (load in Perfetto or chrome://tracing)")
 	)
 	flag.Parse()
 
 	cfg := config{Server: *server, Updates: *updates, Parallelism: *parallelism,
 		Precopy: *precopy, Epochs: *epochs, Sequential: *sequential, Warm: *warm,
-		Canary: *canarySpec}
+		Canary: *canarySpec, TraceOut: *traceOut}
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mcr-ctl:", err)
 		if errors.Is(err, errUsage) {

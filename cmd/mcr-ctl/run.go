@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"repro/internal/canary"
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/servers"
 	"repro/internal/workload"
 )
@@ -29,6 +31,7 @@ type config struct {
 	Sequential  bool   // strictly-ordered update engine (pipelining off)
 	Warm        bool   // arm the warm-standby readiness daemon
 	Canary      string // SLO spec; non-empty arms the post-commit canary window
+	TraceOut    string // write a Chrome-trace-event JSON file of the whole run
 }
 
 // run executes the whole scenario — launch, stage, update, verify the
@@ -63,6 +66,13 @@ func run(cfg config, out io.Writer) error {
 		servers.SetHttpdPoolThreads(4)
 	}
 
+	// -trace-out arms the flight recorder: every subsystem's phase events
+	// land in one capture, exported as Chrome-trace JSON at the end.
+	var rec *obs.Recorder
+	if cfg.TraceOut != "" {
+		rec = obs.New(1 << 16)
+	}
+
 	k := kernel.New()
 	servers.SeedFiles(k)
 	engine := core.NewEngine(k, core.Options{
@@ -71,6 +81,7 @@ func run(cfg config, out io.Writer) error {
 		PrecopyEpochs: cfg.Epochs,
 		Sequential:    cfg.Sequential,
 		Warm:          cfg.Warm,
+		Recorder:      rec,
 	})
 	if _, err := engine.Launch(spec.Version(0)); err != nil {
 		return fmt.Errorf("launch: %w", err)
@@ -78,17 +89,20 @@ func run(cfg config, out io.Writer) error {
 	defer engine.Shutdown()
 	fmt.Fprintf(out, "launched %s-%s on port %d\n", spec.Name, spec.Version(0).Release, spec.Port)
 
-	// The canary needs live traffic to judge the new version: a small
-	// sustained driver feeds the SLO monitor cumulative samples.
+	// The canary needs live traffic to judge the new version, and a trace
+	// capture needs it for the workload-interval track: a small sustained
+	// driver covers both.
 	var drv *workload.Sustained
-	if cfg.Canary != "" {
+	if cfg.Canary != "" || cfg.TraceOut != "" {
 		drv, err = workload.StartSustained(k, workload.SustainedOptions{
-			Server: spec.Name, Port: spec.Port, Clients: 2,
+			Server: spec.Name, Port: spec.Port, Clients: 2, Recorder: rec,
 		})
 		if err != nil {
-			return fmt.Errorf("canary workload: %w", err)
+			return fmt.Errorf("workload: %w", err)
 		}
 		defer drv.Stop()
+	}
+	if cfg.Canary != "" {
 		engine.SetCanaryPacing(100*time.Millisecond, 10*time.Millisecond, 2)
 		if err := engine.ArmCanary(slo, workload.CanarySource(drv)); err != nil {
 			return fmt.Errorf("canary: %w", err)
@@ -220,12 +234,36 @@ func run(cfg config, out io.Writer) error {
 			return err
 		}
 	}
+	if rec != nil {
+		// The human-readable side of the same capture: the controller's
+		// `events` command renders the phase timeline over the socket.
+		if err := send("events"); err != nil {
+			return err
+		}
+	}
 	if drv != nil {
 		st := drv.Stop()
 		if st.BadResponses > 0 {
-			return fmt.Errorf("canary workload saw %d wrong responses", st.BadResponses)
+			return fmt.Errorf("workload saw %d wrong responses", st.BadResponses)
 		}
-		fmt.Fprintf(out, "canary workload: %d requests, 0 wrong responses\n", st.Requests)
+		fmt.Fprintf(out, "workload: %d requests, 0 wrong responses\n", st.Requests)
+	}
+	if rec != nil {
+		// Export after the workload driver stopped so its final interval
+		// buckets are flushed into the capture.
+		f, err := os.Create(cfg.TraceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		werr := obs.WriteChromeTrace(f, rec.Events(), rec.Metrics().Snapshot())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("trace-out: %w", werr)
+		}
+		fmt.Fprintf(out, "trace written to %s (%d events, %d dropped)\n",
+			cfg.TraceOut, len(rec.Events()), rec.Dropped())
 	}
 	fmt.Fprintln(out, "done: all updates deployed live; the client session never reconnected")
 	return nil

@@ -1,7 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -159,6 +162,65 @@ func TestRunCanaryFinalizesHealthyUpdate(t *testing.T) {
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunTraceOutWritesChromeTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out strings.Builder
+	if err := run(config{Server: "nginx", Updates: 1, Warm: true, TraceOut: path}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"$ mcr-ctl events", // the human-readable half of the capture
+		"update-phase timeline",
+		"trace written to " + path,
+		"done: all updates deployed live",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	// The capture must carry the engine phases, the daemon passes and the
+	// workload intervals as distinct named tracks.
+	lanes := map[string]bool{}
+	cats := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			if n, ok := ev.Args["name"].(string); ok {
+				lanes[n] = true
+			}
+		}
+		if ev.Cat != "" {
+			cats[ev.Cat] = true
+		}
+	}
+	for _, track := range []string{"engine", "daemon", "workload"} {
+		if !lanes[track] {
+			t.Errorf("trace has no %q thread lane (lanes: %v)", track, lanes)
+		}
+		if !cats[track] {
+			t.Errorf("trace has no events in category %q", track)
 		}
 	}
 }

@@ -22,10 +22,11 @@ func main() {
 	var (
 		server = flag.String("server", "nginx", "server to profile (httpd, nginx, vsftpd, sshd)")
 		pool   = flag.Int("pool", 8, "httpd pool threads per worker")
+		update = flag.Bool("update", true, "drive one live update after profiling and print its recorded phase timeline")
 	)
 	flag.Parse()
 
-	cfg := config{Server: *server, Pool: *pool, Settle: 100 * time.Millisecond}
+	cfg := config{Server: *server, Pool: *pool, Settle: 100 * time.Millisecond, Update: *update}
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mcr-profile:", err)
 		if errors.Is(err, errUsage) {

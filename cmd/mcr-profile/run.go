@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/quiesce"
 	"repro/internal/servers"
 	"repro/internal/workload"
@@ -22,6 +23,11 @@ type config struct {
 	Server string
 	Pool   int // httpd pool threads per worker
 	Settle time.Duration
+	// Update drives one live update after profiling, with the flight
+	// recorder armed, and renders the recorded phase timeline — the same
+	// obs formatter behind mcr-ctl's `events` command, so the profile and
+	// the controller report identical numbers.
+	Update bool
 }
 
 // run profiles one server under its test workload and writes the
@@ -40,11 +46,15 @@ func run(cfg config, out io.Writer) error {
 		defer servers.SetHttpdPoolThreads(old)
 	}
 
+	var rec *obs.Recorder
+	if cfg.Update {
+		rec = obs.New(1 << 16)
+	}
 	prof := quiesce.NewProfiler()
 	prof.Start()
 	k := kernel.New()
 	servers.SeedFiles(k)
-	engine := core.NewEngine(k, core.Options{Profiler: prof})
+	engine := core.NewEngine(k, core.Options{Profiler: prof, Recorder: rec})
 	if _, err := engine.Launch(spec.Version(0)); err != nil {
 		return fmt.Errorf("launch: %w", err)
 	}
@@ -77,5 +87,20 @@ func run(cfg config, out io.Writer) error {
 	fmt.Fprintf(out, "\nsummary: SL=%d LL=%d QP=%d Per=%d Vol=%d (paper: SL=%d LL=%d QP=%d Per=%d Vol=%d)\n",
 		rep.ShortLived(), rep.LongLived(), rep.QuiescentPoints(), rep.Persistent(), rep.Volatile(),
 		spec.Paper.SL, spec.Paper.LL, spec.Paper.QP, spec.Paper.Per, spec.Paper.Vol)
+
+	// The profile describes where the threads quiesce; the update phase
+	// timeline shows what an update through those quiescent points costs.
+	// Rendered from the flight recorder's events with the shared obs
+	// formatter, so these rows match the `events` ctl command exactly.
+	if cfg.Update && spec.NumVersions > 1 {
+		urep, err := engine.Update(spec.Version(1))
+		if err != nil {
+			return fmt.Errorf("update: %w", err)
+		}
+		fmt.Fprintf(out, "\nlive update %s -> %s (downtime %s) phase timeline:\n",
+			spec.Version(0).Release, spec.Version(1).Release,
+			urep.Downtime.Round(10*time.Microsecond))
+		fmt.Fprint(out, obs.Timeline(rec.Events()))
+	}
 	return nil
 }

@@ -41,6 +41,28 @@ func TestRunProfilesNginx(t *testing.T) {
 	}
 }
 
+func TestRunUpdateRendersRecordedPhaseTimeline(t *testing.T) {
+	var out strings.Builder
+	if err := run(config{Server: "nginx", Pool: 8, Settle: 30 * time.Millisecond, Update: true}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"summary: SL=", // the profile half still renders
+		"phase timeline:",
+		"track", // the shared obs.PhaseTable header
+		"update",
+		"quiesce",
+		"restart",
+		"remap",
+		"commit",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
 func TestRunProfilesHttpdWithPool(t *testing.T) {
 	var out strings.Builder
 	if err := run(config{Server: "httpd", Pool: 4, Settle: 30 * time.Millisecond}, &out); err != nil {

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/program"
 	"repro/internal/trace"
 )
@@ -57,6 +58,15 @@ type Options struct {
 	// sets it: a snapshotter that runs epochs for hours must not grow an
 	// unbounded slice that every Stats() copy then drags along.
 	NoEpochHistory bool
+	// Recorder, when set, receives one flight-recorder span per epoch
+	// (dirty-page count attached) on Track. FinalEpoch always emits on
+	// the transfer track: the handoff epoch runs in the pipelined
+	// engine's old-side goroutine, concurrent with the engine phases.
+	Recorder *obs.Recorder
+	// Track is the recorder track epoch spans land on (default engine —
+	// the in-call pre-copy loop; the warm daemon sets its own track so
+	// its epochs nest under pass spans).
+	Track string
 }
 
 func (o *Options) fill() {
@@ -65,6 +75,9 @@ func (o *Options) fill() {
 	}
 	if o.StableRatio <= 0 {
 		o.StableRatio = 0.9
+	}
+	if o.Track == "" {
+		o.Track = obs.TrackEngine
 	}
 }
 
@@ -146,7 +159,9 @@ func (s *Snapshotter) Run() Stats {
 // its soft-dirty bits, then shadow the objects overlapping the dirty
 // pages.
 func (s *Snapshotter) Epoch() EpochStats {
+	sp := s.opts.Recorder.Span(s.opts.Track, obs.PhaseEpoch)
 	es := s.epoch()
+	sp.EndArg("dirty_pages", int64(es.DirtyPages))
 	s.mu.Lock()
 	s.stats.Epochs++
 	es.Epoch = s.stats.Epochs
@@ -167,7 +182,9 @@ func (s *Snapshotter) Epoch() EpochStats {
 // version's RESTART phase — the residual live copy shrinks while v2
 // boots. Recorded in the Final* stats, not the epoch-loop history.
 func (s *Snapshotter) FinalEpoch() EpochStats {
+	sp := s.opts.Recorder.Span(obs.TrackTransfer, obs.PhaseHandoff)
 	es := s.epoch()
+	sp.EndArg("dirty_pages", int64(es.DirtyPages))
 	s.mu.Lock()
 	s.stats.FinalRan = true
 	s.stats.FinalPages += es.DirtyPages

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/program"
 	"repro/internal/trace"
 )
@@ -25,6 +26,11 @@ type DaemonOptions struct {
 	// poll uses the count-only soft-dirty query, so an up-to-date
 	// instance costs one counter sweep per pass.
 	MinDirtyPages int
+	// Recorder, when set, records every pass and backpressure yield as
+	// spans on the daemon track (epochs nest inside passes) and unifies
+	// the pass/epoch/page tallies into the metrics registry — the
+	// alignment data the spike trace correlates workload p99 against.
+	Recorder *obs.Recorder
 }
 
 func (o *DaemonOptions) fill() {
@@ -90,6 +96,10 @@ type Daemon struct {
 	done     chan struct{}
 	stopOnce sync.Once
 
+	rec              *obs.Recorder
+	cPasses, cEpochs *obs.Counter
+	cPages, cYields  *obs.Counter
+
 	mu    sync.Mutex
 	stats DaemonStats
 }
@@ -101,12 +111,18 @@ func StartDaemon(inst *program.Instance, warm *trace.WarmAnalysis, opts DaemonOp
 	opts.fill()
 	d := &Daemon{
 		inst: inst,
-		snap: New(inst, Options{NoEpochHistory: true}),
+		snap: New(inst, Options{NoEpochHistory: true, Recorder: opts.Recorder, Track: obs.TrackDaemon}),
 		warm: warm,
 		opts: opts,
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
+		rec:  opts.Recorder,
 	}
+	m := opts.Recorder.Metrics()
+	d.cPasses = m.Counter("daemon.passes")
+	d.cEpochs = m.Counter("daemon.epochs")
+	d.cPages = m.Counter("daemon.pages_copied")
+	d.cYields = m.Counter("daemon.yields")
 	go d.loop()
 	return d
 }
@@ -120,7 +136,9 @@ func (d *Daemon) loop() {
 		default:
 		}
 		t0 := time.Now()
+		psp := d.rec.Span(obs.TrackDaemon, obs.PhasePass)
 		d.pass()
+		psp.End()
 		took := time.Since(t0)
 		// Backpressure: a pass that took d leaves the workload at least
 		// d*(1-duty)/duty of uncontended time before the next one.
@@ -134,15 +152,18 @@ func (d *Daemon) loop() {
 		d.stats.WorkTime += took
 		if yielded {
 			d.stats.Yields++
+			d.cYields.Add(1)
 		}
 		d.mu.Unlock()
 		pauseStart := time.Now()
+		ysp := d.rec.Span(obs.TrackDaemon, obs.PhaseYield)
 		stopped := false
 		select {
 		case <-d.stop:
 			stopped = true
 		case <-time.After(pause):
 		}
+		ysp.End()
 		d.mu.Lock()
 		d.stats.PauseTime += time.Since(pauseStart)
 		d.mu.Unlock()
@@ -166,9 +187,12 @@ func (d *Daemon) pass() {
 
 	d.mu.Lock()
 	d.stats.Passes++
+	d.cPasses.Add(1)
 	if ranEpoch {
 		d.stats.Epochs++
 		d.stats.PagesCopied += es.DirtyPages
+		d.cEpochs.Add(1)
+		d.cPages.Add(int64(es.DirtyPages))
 	} else {
 		d.stats.Skipped++
 	}

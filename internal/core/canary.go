@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/canary"
+	"repro/internal/obs"
 	"repro/internal/program"
 	"repro/internal/reinit"
 )
@@ -35,6 +36,8 @@ type canaryRun struct {
 	cancel    chan struct{} // closed by DisarmCanary/Shutdown: accept now
 	closeOnce sync.Once
 	done      chan struct{} // closed once the window is resolved
+
+	span obs.Span // open canary-window span; ended with the verdict
 
 	resolved bool // guarded by Engine.mu
 }
@@ -184,6 +187,10 @@ func (e *Engine) openCanary(old, newInst *program.Instance, rep *UpdateReport) b
 	run.mon = canary.NewMonitor(e.canarySLO, e.canaryBase, src(), grace)
 	rep.Canary = true
 	rep.CanaryOutcome = "open"
+	// The window span outlives Update (its monitor goroutine ends it with
+	// the verdict), so it lives on its own track where it can overlap the
+	// engine phases of a subsequent rollback.
+	run.span = e.opts.Recorder.Span(obs.TrackCanary, obs.PhaseCanaryWindow)
 	e.canaryRun = run
 	e.current = newInst
 	e.mu.Unlock()
@@ -207,15 +214,33 @@ func (e *Engine) canaryLoop(run *canaryRun, window, interval time.Duration) {
 		case <-deadline.C:
 			// Judge the final partial interval too: a regression landing
 			// just before the deadline must not slip through.
-			e.resolveCanary(run, run.mon.Tick(run.src()))
+			br := run.mon.Tick(run.src())
+			e.judgeInstant(br)
+			e.resolveCanary(run, br)
 			return
 		case <-tick.C:
-			if br := run.mon.Tick(run.src()); br != nil {
+			br := run.mon.Tick(run.src())
+			e.judgeInstant(br)
+			if br != nil {
 				e.resolveCanary(run, br)
 				return
 			}
 		}
 	}
+}
+
+// judgeInstant records one SLO evaluation tick; a breach carries the
+// failing metric as the note.
+func (e *Engine) judgeInstant(br *canary.Breach) {
+	if !e.opts.Recorder.On() {
+		return
+	}
+	if br != nil {
+		e.opts.Recorder.InstantNote(obs.TrackCanary, obs.PhaseCanaryJudge, "breach:"+br.Metric)
+		e.opts.Recorder.Metrics().Counter("canary.breaches").Add(1)
+		return
+	}
+	e.opts.Recorder.InstantNote(obs.TrackCanary, obs.PhaseCanaryJudge, "pass")
 }
 
 // resolveCanary settles one window exactly once (idempotent under
@@ -249,8 +274,12 @@ func (e *Engine) resolveCanary(run *canaryRun, br *canary.Breach) {
 		e.canaryOutcome = "finalized"
 		e.canaryCause = ""
 		e.mu.Unlock()
+		fsp := e.opts.Recorder.Span(obs.TrackCanary, obs.PhaseCanaryFinalize)
+		e.opts.Recorder.Metrics().Counter("canary.finalized").Add(1)
 		run.old.Terminate()
 		reinit.ReleaseIDs(run.new.Root())
+		fsp.End()
+		run.span.EndNote("finalized")
 		close(run.done)
 		return
 	}
@@ -265,6 +294,8 @@ func (e *Engine) resolveCanary(run *canaryRun, br *canary.Breach) {
 	d := e.daemon
 	e.daemon = nil
 	e.mu.Unlock()
+	rsp := e.opts.Recorder.Span(obs.TrackCanary, obs.PhaseCanaryRevert)
+	e.opts.Recorder.Metrics().Counter("canary.reverted").Add(1)
 	stopAndDiscard(d)
 	// Park the degraded version at its quiescent points before killing
 	// it: half-served requests finish, unread ones stay buffered for the
@@ -274,6 +305,8 @@ func (e *Engine) resolveCanary(run *canaryRun, br *canary.Breach) {
 	_, _ = run.new.Quiesce(e.opts.QuiesceTimeout)
 	run.new.Terminate()
 	run.old.Resume()
+	rsp.EndNote(cause)
+	run.span.EndNote("reverted")
 	e.rearmWarm()
 	close(run.done)
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/program"
 )
 
@@ -140,6 +141,23 @@ func (c *Controller) dispatch(req string) string {
 			return "OK canary=disarmed"
 		}
 		return "OK " + canaryLine(cs)
+	case "events":
+		if len(fields) != 1 {
+			return "ERR usage: events"
+		}
+		rec := c.engine.Recorder()
+		if rec == nil {
+			return "ERR no flight recorder armed"
+		}
+		evs := rec.Events()
+		if len(evs) == 0 {
+			return "OK no events recorded"
+		}
+		out := "OK update-phase timeline\n" + obs.Timeline(evs)
+		if d := rec.Dropped(); d > 0 {
+			out += fmt.Sprintf("(%d older events overflowed the ring)\n", d)
+		}
+		return out
 	case "update":
 		if len(fields) != 2 {
 			return "ERR usage: update <release>"

@@ -16,6 +16,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/kernel"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/program"
 	"repro/internal/quiesce"
 	"repro/internal/reinit"
@@ -126,6 +127,12 @@ type Options struct {
 	// PolicySet marks Policy as explicitly provided (a zero Policy is the
 	// fully-precise ablation).
 	PolicySet bool
+	// Recorder, when set, is the flight recorder every subsystem emits
+	// phase events into: engine phases on the engine track, the old-side
+	// pipeline (handoff epoch, discovery, copy) on the transfer track,
+	// warm-daemon passes on the daemon track, and the canary window on
+	// its own track. A nil recorder costs one pointer check per phase.
+	Recorder *obs.Recorder
 }
 
 func (o *Options) fill() {
@@ -256,6 +263,11 @@ func NewEngine(k *kernel.Kernel, opts Options) *Engine {
 // Kernel returns the engine's kernel.
 func (e *Engine) Kernel() *kernel.Kernel { return e.kern }
 
+// Recorder returns the engine's flight recorder (nil when observability
+// is not armed) — the programmatic access surface for the controller's
+// `events` command, the trace exporter and the experiment harnesses.
+func (e *Engine) Recorder() *obs.Recorder { return e.opts.Recorder }
+
 // Current returns the running instance.
 func (e *Engine) Current() *program.Instance {
 	e.mu.Lock()
@@ -321,11 +333,13 @@ type warmHandoff struct {
 // newDaemonLocked starts a readiness daemon over the current instance
 // with a fresh warm analysis; the caller must hold e.mu.
 func (e *Engine) newDaemonLocked() *checkpoint.Daemon {
+	e.opts.Recorder.Instant(obs.TrackDaemon, obs.PhaseArmWarm, "", 0)
 	return checkpoint.StartDaemon(e.current,
 		trace.NewWarmAnalysis(e.opts.Policy, e.opts.TransferLibs),
 		checkpoint.DaemonOptions{
 			Interval:  e.opts.WarmInterval,
 			DutyCycle: e.opts.WarmDutyCycle,
+			Recorder:  e.opts.Recorder,
 		})
 }
 
@@ -513,6 +527,14 @@ func (e *Engine) Update(v2 *program.Version) (*UpdateReport, error) {
 	}
 	rep := &UpdateReport{}
 	start := time.Now()
+	// The update span is registered before the bookkeeping defer so its End
+	// runs last (defer LIFO) and the span covers the full request. It ends
+	// plain — outcome attributes come from the commit/rollback spans, not
+	// here, because a canary window's monitor goroutine may still be
+	// writing rep when this returns.
+	usp := e.opts.Recorder.Span(obs.TrackEngine, obs.PhaseUpdate)
+	defer usp.End()
+	e.opts.Recorder.Metrics().Counter("core.updates").Add(1)
 	e.mu.Lock()
 	e.updating = true
 	e.mu.Unlock()
@@ -553,11 +575,14 @@ func (e *Engine) precopy(old *program.Instance, rep *UpdateReport) *checkpoint.S
 		return nil
 	}
 	pcStart := time.Now()
+	sp := e.opts.Recorder.Span(obs.TrackEngine, obs.PhasePrecopy)
 	snap := checkpoint.New(old, checkpoint.Options{
 		MaxEpochs: e.opts.PrecopyEpochs,
 		Interval:  e.opts.PrecopyInterval,
+		Recorder:  e.opts.Recorder,
 	})
 	rep.Precopy = snap.Run()
+	sp.EndArg("epochs", int64(rep.Precopy.Epochs))
 	rep.PrecopyTime = time.Since(pcStart)
 	return snap
 }
@@ -569,6 +594,7 @@ func (e *Engine) precopy(old *program.Instance, rep *UpdateReport) *checkpoint.S
 func (e *Engine) restart(old *program.Instance, v2 *program.Version,
 	mgr *reinit.Manager, plan map[mem.PlanKey]mem.Addr, reserve []*mem.Object,
 	pinnedStatics map[string]uint64) (*program.Instance, error) {
+	defer e.opts.Recorder.Span(obs.TrackEngine, obs.PhaseRestart).End()
 	newInst, err := program.NewInstance(v2, e.kern, program.Options{
 		Instr:              e.opts.Instr,
 		Profiler:           e.opts.Profiler,
@@ -637,6 +663,9 @@ func (e *Engine) restart(old *program.Instance, v2 *program.Version,
 // pid reservations in the new instance) are held, and finalization is
 // deferred to the window's verdict.
 func (e *Engine) commit(old, newInst *program.Instance, rep *UpdateReport) {
+	sp := e.opts.Recorder.Span(obs.TrackEngine, obs.PhaseCommit)
+	defer sp.End()
+	e.opts.Recorder.Metrics().Counter("core.commits").Add(1)
 	rep.FDsCollected = reinit.CollectUnused(old, newInst)
 	reinit.ReservedModeOff(newInst)
 	if e.openCanary(old, newInst, rep) {
@@ -661,6 +690,7 @@ func (e *Engine) transferOptions(snap *checkpoint.Snapshotter) trace.Options {
 		DisableDirtyFilter: e.opts.DisableDirtyFilter,
 		Parallelism:        e.opts.Parallelism,
 		VerifyShadows:      e.opts.VerifyTransfer,
+		Recorder:           e.opts.Recorder,
 	}
 	if snap != nil {
 		topts.Shadows = snap.Shadows()
@@ -697,7 +727,9 @@ func (e *Engine) updateSequential(old *program.Instance, v2 *program.Version, re
 			rep.Downtime = time.Since(dtStart)
 		}
 	}()
+	qsp := e.opts.Recorder.Span(obs.TrackEngine, obs.PhaseQuiesce)
 	qd, err := old.Quiesce(e.opts.QuiesceTimeout)
+	qsp.End()
 	if err != nil {
 		return rep, e.rollback(old, nil, rep, fmt.Errorf("quiescence: %w", err))
 	}
@@ -711,6 +743,7 @@ func (e *Engine) updateSequential(old *program.Instance, v2 *program.Version, re
 	anStart := time.Now()
 	var analyses map[program.ProcKey]*trace.Analysis
 	if warm != nil {
+		asp := e.opts.Recorder.Span(obs.TrackEngine, obs.PhaseValidate)
 		var reused int
 		analyses, reused, err = warm.an.Resolve(old)
 		if err == nil {
@@ -718,9 +751,12 @@ func (e *Engine) updateSequential(old *program.Instance, v2 *program.Version, re
 			rep.ProcsReanalyzed = len(analyses) - reused
 			rep.WarmReanalyses = warm.an.ReanalysisCounts()
 		}
+		asp.EndArg("reused", int64(reused))
 	} else {
+		asp := e.opts.Recorder.Span(obs.TrackEngine, obs.PhaseAnalyze)
 		analyses, err = trace.AnalyzeInstance(old, e.opts.Policy, e.opts.TransferLibs)
 		rep.ProcsReanalyzed = len(analyses)
+		asp.EndArg("procs", int64(len(analyses)))
 	}
 	if err != nil {
 		return rep, e.rollback(old, nil, rep, fmt.Errorf("analysis: %w", err))
@@ -749,8 +785,10 @@ func (e *Engine) updateSequential(old *program.Instance, v2 *program.Version, re
 	}
 	rep.DiscoveryTime = time.Since(dscStart)
 	stStart := time.Now()
+	rsp := e.opts.Recorder.Span(obs.TrackEngine, obs.PhaseRemap)
 	stats, err := disc.Complete(newInst, analyses)
 	rep.Transfer = stats
+	rsp.EndArg("objects", int64(stats.ObjectsTransferred))
 	if err != nil {
 		return rep, e.rollback(old, newInst, rep, err)
 	}
@@ -819,7 +857,9 @@ func (e *Engine) updatePipelined(old *program.Instance, v2 *program.Version, rep
 		// window by construction — Resolve below must never block
 		// in-window. (The warm path has nothing to join: the daemon was
 		// stopped before the timed window even opened.)
+		ssp := e.opts.Recorder.Span(obs.TrackEngine, obs.PhaseSpeculate)
 		spec.Wait()
+		ssp.End()
 	}
 	if h := e.opts.BeforeQuiesce; h != nil {
 		h(old)
@@ -833,7 +873,9 @@ func (e *Engine) updatePipelined(old *program.Instance, v2 *program.Version, rep
 			rep.Downtime = time.Since(dtStart)
 		}
 	}()
+	qsp := e.opts.Recorder.Span(obs.TrackEngine, obs.PhaseQuiesce)
 	qd, err := old.Quiesce(e.opts.QuiesceTimeout)
+	qsp.End()
 	if err != nil {
 		return rep, e.rollback(old, nil, rep, fmt.Errorf("quiescence: %w", err))
 	}
@@ -876,11 +918,13 @@ func (e *Engine) updatePipelined(old *program.Instance, v2 *program.Version, rep
 		analyses map[program.ProcKey]*trace.Analysis
 		reused   int
 	)
+	asp := e.opts.Recorder.Span(obs.TrackEngine, obs.PhaseValidate)
 	if warmAn {
 		analyses, reused, err = warm.an.Resolve(old)
 	} else {
 		analyses, reused, err = spec.Resolve(old)
 	}
+	asp.EndArg("reused", int64(reused))
 	if err != nil {
 		return rep, abort(nil, fmt.Errorf("analysis: %w", err))
 	}
@@ -913,8 +957,10 @@ func (e *Engine) updatePipelined(old *program.Instance, v2 *program.Version, rep
 	}
 	rep.DiscoveryTime = discTook
 	stStart := time.Now()
+	rsp := e.opts.Recorder.Span(obs.TrackEngine, obs.PhaseRemap)
 	stats, err := disc.Complete(newInst, analyses)
 	rep.Transfer = stats
+	rsp.EndArg("objects", int64(stats.ObjectsTransferred))
 	if err != nil {
 		return rep, e.rollback(old, newInst, rep, err)
 	}
@@ -929,10 +975,13 @@ func (e *Engine) updatePipelined(old *program.Instance, v2 *program.Version, rep
 // rollback discards the (partially started) new instance and resumes the
 // old version from its checkpoint, preserving the atomic update semantics.
 func (e *Engine) rollback(old, new *program.Instance, rep *UpdateReport, cause error) error {
+	sp := e.opts.Recorder.Span(obs.TrackEngine, obs.PhaseRollback)
+	e.opts.Recorder.Metrics().Counter("core.rollbacks").Add(1)
 	if new != nil {
 		new.Terminate()
 	}
 	old.Resume()
+	sp.EndNote(cause.Error())
 	rep.RolledBack = true
 	rep.RollbackCause = "update"
 	rep.Reason = cause

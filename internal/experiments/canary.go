@@ -231,7 +231,7 @@ func canaryServerRun(cfg Config, name string, scenarios []string, res *CanaryRes
 // canaryScenarioRun launches one engine + sustained driver and runs a
 // single scenario against it.
 func canaryScenarioRun(cfg Config, spec *servers.Spec, scenario string, res *CanaryResult) (CanaryRow, error) {
-	e, k, err := overheadEngine(spec, cfg)
+	e, k, _, err := overheadEngine(spec, cfg)
 	if err != nil {
 		return CanaryRow{}, err
 	}

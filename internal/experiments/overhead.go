@@ -3,11 +3,13 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/servers"
 	"repro/internal/workload"
 )
@@ -66,6 +68,42 @@ type OverheadUpdateRow struct {
 	RequestsAfter      int // responses completed in the settle window after
 }
 
+// SpikeInterval is one workload-interval latency bucket correlated
+// against the daemon activity that overlapped it, read out of the flight
+// recorder: the daemon-pass spans and workload-interval complete events
+// land in one time base, so "which pass caused that p99 spike" becomes a
+// span-intersection query instead of a guess. Start is relative to the
+// capture window's opening.
+type SpikeInterval struct {
+	Server   string
+	Duty     float64
+	Start    time.Duration
+	Interval time.Duration // bucket width
+	P99      time.Duration
+	Passes   int           // daemon passes overlapping the bucket
+	PassWork time.Duration // pass time spent inside the bucket
+	Pages    int64         // dirty pages the overlapping epochs copied
+}
+
+// RecorderDelta is the cost of leaving the flight recorder enabled: the
+// same disarmed serving workload measured in back-to-back windows with
+// recording soft-disabled and live on one engine instance.
+type RecorderDelta struct {
+	Server string
+	OffRPS float64 // recorder soft-disabled
+	OnRPS  float64 // recorder live
+	Events int     // events captured during the enabled window
+}
+
+// DeltaPct returns the throughput cost of recording (fraction of the
+// disabled-recorder throughput lost while recording; negative = noise).
+func (d RecorderDelta) DeltaPct() float64 {
+	if d.OffRPS <= 0 {
+		return 0
+	}
+	return 1 - d.OnRPS/d.OffRPS
+}
+
 // OverheadResult is the live-traffic overhead sweep.
 type OverheadResult struct {
 	GOMAXPROCS int
@@ -74,6 +112,8 @@ type OverheadResult struct {
 	Duties     []float64
 	Points     []OverheadPoint
 	Updates    []OverheadUpdateRow
+	Spikes     []SpikeInterval // worst p99 buckets of the recorded window, per server
+	Recorder   []RecorderDelta
 }
 
 // overheadDuties is the swept duty-cycle settings (the acceptance bar
@@ -99,8 +139,13 @@ func (s Scale) overheadClients() int {
 }
 
 // overheadEngine launches one server with the warm machinery available
-// (disarmed) and shadow verification on.
-func overheadEngine(spec *servers.Spec, cfg Config) (*core.Engine, *kernel.Kernel, error) {
+// (disarmed) and shadow verification on. The flight recorder is attached
+// but soft-disabled: the duty sweep measures the daemon alone, then the
+// spike capture flips recording on for one window (which also measures
+// the recorder's own cost against the adjacent disabled window).
+func overheadEngine(spec *servers.Spec, cfg Config) (*core.Engine, *kernel.Kernel, *obs.Recorder, error) {
+	rec := obs.New(1 << 16)
+	rec.SetEnabled(false)
 	k := kernel.New()
 	servers.SeedFiles(k)
 	e := core.NewEngine(k, core.Options{
@@ -109,11 +154,12 @@ func overheadEngine(spec *servers.Spec, cfg Config) (*core.Engine, *kernel.Kerne
 		WarmInterval:   200 * time.Microsecond,
 		QuiesceTimeout: 30 * time.Second,
 		StartupTimeout: 30 * time.Second,
+		Recorder:       rec,
 	})
 	if _, err := e.Launch(spec.Version(0)); err != nil {
-		return nil, nil, fmt.Errorf("overhead: launch %s: %w", spec.Name, err)
+		return nil, nil, nil, fmt.Errorf("overhead: launch %s: %w", spec.Name, err)
 	}
-	return e, k, nil
+	return e, k, rec, nil
 }
 
 // measureWindow serves for d and returns the driver delta.
@@ -135,7 +181,7 @@ func overheadSweep(cfg Config, name string, res *OverheadResult) error {
 		old := servers.SetHttpdPoolThreads(4)
 		defer servers.SetHttpdPoolThreads(old)
 	}
-	e, k, err := overheadEngine(spec, cfg)
+	e, k, rec, err := overheadEngine(spec, cfg)
 	if err != nil {
 		return err
 	}
@@ -143,6 +189,7 @@ func overheadSweep(cfg Config, name string, res *OverheadResult) error {
 
 	drv, err := workload.StartSustained(k, workload.SustainedOptions{
 		Server: name, Port: spec.Port, Clients: res.Clients,
+		Recorder: rec,
 	})
 	if err != nil {
 		return err
@@ -196,6 +243,13 @@ func overheadSweep(cfg Config, name string, res *OverheadResult) error {
 				name, duty, warm.BadResponses)
 		}
 		res.Points = append(res.Points, pt)
+	}
+
+	// Spike trace + recorder cost: re-arm at the heaviest swept duty with
+	// the flight recorder live for one window, then line the workload's
+	// per-interval p99 up against the daemon passes that overlapped it.
+	if err := overheadSpike(e, drv, rec, name, res); err != nil {
+		return fmt.Errorf("overhead: %s spike capture: %w", name, err)
 	}
 
 	// Mid-traffic warm update: traffic keeps flowing through quiesce and
@@ -288,6 +342,114 @@ func overheadUpdate(e *core.Engine, drv *workload.Sustained, spec *servers.Spec,
 	return row, nil
 }
 
+// overheadSpike measures the recorder's own serving cost and captures
+// the daemon-aligned spike trace. The cost half runs on the disarmed
+// engine — two adjacent windows of the bare serving path, recorder off
+// then on — so daemon pass scheduling cannot confound the comparison.
+// Recording then stays live while the daemon re-arms at the heaviest
+// swept duty for one more window (started before the arm so a long pass
+// already in flight at the window's open still has its begin event; Pair
+// drops end-only spans), and the capture is read out: every
+// workload-interval bucket fully inside the window is correlated against
+// the daemon-pass and epoch spans that overlapped it, and the worst
+// buckets by p99 become the spike trace.
+func overheadSpike(e *core.Engine, drv *workload.Sustained, rec *obs.Recorder,
+	name string, res *OverheadResult) error {
+	off := measureWindow(drv, res.Window)
+	rec.SetEnabled(true)
+	d0 := rec.Now()
+	on := measureWindow(drv, res.Window)
+	d1 := rec.Now()
+
+	duty := res.Duties[len(res.Duties)-1]
+	e.SetWarmPacing(200*time.Microsecond, duty)
+	if err := e.ArmWarm(); err != nil {
+		rec.SetEnabled(false)
+		return err
+	}
+	e.WarmWait(res.Window)
+	t0 := rec.Now()
+	armed := measureWindow(drv, res.Window)
+	t1 := rec.Now()
+	rec.SetEnabled(false)
+	e.DisarmWarm()
+	if bad := off.BadResponses + on.BadResponses + armed.BadResponses; bad > 0 {
+		return fmt.Errorf("%d wrong responses through the capture windows", bad)
+	}
+	if off.Requests == 0 || on.Requests == 0 || armed.Requests == 0 {
+		return fmt.Errorf("capture window served nothing (last err %v)", drv.LastError())
+	}
+
+	evs := rec.Events()
+	captured := 0
+	for _, ev := range evs {
+		if ev.T >= d0 && ev.T <= d1 {
+			captured++
+		}
+	}
+	res.Recorder = append(res.Recorder, RecorderDelta{
+		Server: name,
+		OffRPS: off.Throughput(),
+		OnRPS:  on.Throughput(),
+		Events: captured,
+	})
+	res.Spikes = append(res.Spikes, worstSpikes(name, duty, obs.Pair(evs), t0, t1, 3)...)
+	return nil
+}
+
+// worstSpikes intersects the workload-interval buckets captured inside
+// [t0, t1] with the daemon spans and returns the top want buckets by
+// p99. Buckets flushed retroactively when the recorder came on (and the
+// trailing bucket still open at disable) fall outside the window and are
+// excluded, so every returned bucket was fully observed.
+func worstSpikes(server string, duty float64, spans []obs.PhaseSpan,
+	t0, t1 time.Duration, want int) []SpikeInterval {
+	var daemon []obs.PhaseSpan
+	for _, sp := range spans {
+		if sp.Track == obs.TrackDaemon {
+			daemon = append(daemon, sp)
+		}
+	}
+	var out []SpikeInterval
+	for _, sp := range spans {
+		if sp.Track != obs.TrackWorkload || sp.Phase != obs.PhaseInterval ||
+			sp.Start < t0 || sp.End() > t1 {
+			continue
+		}
+		si := SpikeInterval{
+			Server:   server,
+			Duty:     duty,
+			Start:    sp.Start - t0,
+			Interval: sp.Dur,
+			P99:      time.Duration(sp.Arg), // p99_ns attached by the driver
+		}
+		for _, d := range daemon {
+			ov := min(d.End(), sp.End()) - max(d.Start, sp.Start)
+			if ov <= 0 {
+				continue
+			}
+			switch d.Phase {
+			case obs.PhasePass:
+				si.Passes++
+				si.PassWork += ov
+			case obs.PhaseEpoch:
+				si.Pages += d.Arg // dirty_pages attached by the snapshotter
+			}
+		}
+		out = append(out, si)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P99 != out[j].P99 {
+			return out[i].P99 > out[j].P99
+		}
+		return out[i].Start < out[j].Start
+	})
+	if len(out) > want {
+		out = out[:want]
+	}
+	return out
+}
+
 // RunOverhead regenerates the live-traffic overhead evaluation: the real
 // model servers under sustained client traffic, the warm daemon swept
 // across duty-cycle settings (serving throughput baseline vs warm-armed,
@@ -335,6 +497,24 @@ func (r *OverheadResult) Render() string {
 			u.RequestToCommit.Round(10*time.Microsecond),
 			u.Downtime.Round(10*time.Microsecond),
 			u.RequestsDuring, u.RequestsAfter, u.TransferChecksum)
+	}
+	if len(r.Spikes) > 0 {
+		b.WriteString("worst p99 workload intervals in the recorded window (daemon activity overlapping each bucket):\n")
+		fmt.Fprintf(&b, "%-8s %6s %10s %10s %10s %7s %10s %8s\n",
+			"server", "duty", "start", "width", "p99", "passes", "pass-work", "pages")
+		for _, s := range r.Spikes {
+			fmt.Fprintf(&b, "%-8s %6.2f %10s %10s %10s %7d %10s %8d\n",
+				s.Server, s.Duty, s.Start.Round(time.Millisecond), s.Interval,
+				s.P99.Round(10*time.Microsecond), s.Passes,
+				s.PassWork.Round(10*time.Microsecond), s.Pages)
+		}
+	}
+	if len(r.Recorder) > 0 {
+		b.WriteString("flight-recorder cost (daemon disarmed, adjacent serving windows, recorder off vs on; negative = noise):\n")
+		for _, d := range r.Recorder {
+			fmt.Fprintf(&b, "%-8s off %8.0f rps, on %8.0f rps (delta %+.1f%%, %d events captured)\n",
+				d.Server, d.OffRPS, d.OnRPS, d.DeltaPct()*100, d.Events)
+		}
 	}
 	b.WriteString("baseline = same sustained workload with the daemon disarmed; overhead = throughput lost warm-armed\n")
 	return b.String()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -59,7 +60,47 @@ func TestRunOverheadLiveTraffic(t *testing.T) {
 	if rollbacks != 1 {
 		t.Errorf("%d rollback scenarios, want 1", rollbacks)
 	}
-	_ = res.Render()
+
+	// The spike capture must have run once per server: a recorder-cost row
+	// with both windows serving traffic and a non-empty event capture.
+	if len(res.Recorder) != len(overheadServers) {
+		t.Errorf("%d recorder-delta rows, want %d", len(res.Recorder), len(overheadServers))
+	}
+	for _, d := range res.Recorder {
+		if d.OffRPS <= 0 || d.OnRPS <= 0 {
+			t.Errorf("%s recorder capture: empty window (off %.0f on %.0f)", d.Server, d.OffRPS, d.OnRPS)
+		}
+		if d.Events == 0 {
+			t.Errorf("%s recorder capture recorded no events", d.Server)
+		}
+	}
+	// The spike rows must be fully-observed buckets inside the capture
+	// window with the daemon activity correlated in.
+	spikeServers := map[string]bool{}
+	for _, s := range res.Spikes {
+		spikeServers[s.Server] = true
+		if s.Interval <= 0 {
+			t.Errorf("%s spike bucket has no width", s.Server)
+		}
+		if s.Start < 0 || s.Start+s.Interval > res.Window+res.Window/2 {
+			t.Errorf("%s spike bucket at %s outside the capture window", s.Server, s.Start)
+		}
+		if s.Passes == 0 && s.PassWork != 0 {
+			t.Errorf("%s spike bucket has pass work without passes", s.Server)
+		}
+	}
+	for _, name := range overheadServers {
+		if !spikeServers[name] {
+			t.Errorf("no spike rows captured for %s", name)
+		}
+	}
+
+	rendered := res.Render()
+	for _, want := range []string{"worst p99 workload intervals", "flight-recorder cost"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
 }
 
 // overheadChecksumRun performs one verified update over the deterministic

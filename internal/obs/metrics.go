@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is the counters/gauges registry unifying the ad-hoc stats the
+// subsystems used to keep in private structs. Handles are fetched once
+// (Counter/Gauge intern by name) and bumped lock-free on the hot path;
+// nil receivers and nil handles are no-ops, so call sites need no
+// recorder guard. Counters accumulate; gauges hold the latest value.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// Counter is a monotonically accumulated metric. Nil-safe.
+type Counter struct{ v atomic.Int64 }
+
+// Add accumulates n (no-op on a nil handle).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the accumulated total.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge holds a latest-value metric. Nil-safe.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v (no-op on a nil handle).
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Value returns the last stored value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Counter interns and returns the named counter (nil when the registry
+// itself is nil — the handle stays a valid no-op).
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.counters == nil {
+		m.counters = make(map[string]*Counter)
+	}
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge interns and returns the named gauge.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.gauges == nil {
+		m.gauges = make(map[string]*Gauge)
+	}
+	g, ok := m.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Snapshot returns every registered metric's current value by name.
+func (m *Metrics) Snapshot() map[string]int64 {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.counters)+len(m.gauges))
+	for name, c := range m.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range m.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// Names returns the registered metric names, sorted.
+func (m *Metrics) Names() []string {
+	snap := m.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// metrics accessor on the recorder: the registry rides along so one
+// handle threads both event and metric surfaces through the stack.
+func (r *Recorder) Metrics() *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &r.metrics
+}

@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.On() {
+		t.Fatal("nil recorder reports On")
+	}
+	sp := r.Span(TrackEngine, PhaseQuiesce)
+	sp.End()
+	r.SpanProc(TrackTransfer, PhaseDiscover, "p1").EndArg("n", 1)
+	r.Instant(TrackEngine, PhaseArmWarm, "", 0)
+	r.InstantNote(TrackCanary, PhaseCanaryJudge, "ok")
+	r.Complete(TrackWorkload, PhaseInterval, 0, time.Millisecond, "p99_ns", 1)
+	r.SetEnabled(true)
+	r.Metrics().Counter("x").Add(1)
+	r.Metrics().Gauge("y").Set(2)
+	if got := r.Events(); got != nil {
+		t.Fatalf("nil recorder returned events: %v", got)
+	}
+	if r.Dropped() != 0 || r.Now() != 0 {
+		t.Fatal("nil recorder reports non-zero state")
+	}
+}
+
+func TestSpanPairingAndAttributes(t *testing.T) {
+	r := New(0)
+	up := r.Span(TrackEngine, PhaseUpdate)
+	q := r.Span(TrackEngine, PhaseQuiesce)
+	q.EndArg("pages", 7)
+	r.Instant(TrackEngine, PhaseArmWarm, "", 0)
+	up.EndNote("commit")
+	r.Complete(TrackWorkload, PhaseInterval, 0, 10*time.Millisecond, "p99_ns", 12345)
+
+	events := r.Events()
+	if err := CheckSpans(events); err != nil {
+		t.Fatalf("CheckSpans: %v", err)
+	}
+	spans := Pair(events)
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(spans), spans)
+	}
+	byPhase := map[string]PhaseSpan{}
+	for _, sp := range spans {
+		byPhase[sp.Phase] = sp
+	}
+	if sp := byPhase[PhaseUpdate]; sp.Note != "commit" || sp.Open {
+		t.Fatalf("update span missing end note: %+v", sp)
+	}
+	if sp := byPhase[PhaseQuiesce]; sp.ArgName != "pages" || sp.Arg != 7 {
+		t.Fatalf("quiesce span missing end arg: %+v", sp)
+	}
+	if sp := byPhase[PhaseInterval]; sp.Dur != 10*time.Millisecond || sp.Arg != 12345 {
+		t.Fatalf("interval complete span wrong: %+v", sp)
+	}
+	// Nested span must start no earlier and end no later than its parent.
+	if byPhase[PhaseQuiesce].Start < byPhase[PhaseUpdate].Start ||
+		byPhase[PhaseQuiesce].End() > byPhase[PhaseUpdate].End() {
+		t.Fatalf("quiesce not nested in update: %+v vs %+v", byPhase[PhaseQuiesce], byPhase[PhaseUpdate])
+	}
+	if ins := Instants(events); len(ins) != 1 || ins[0].Phase != PhaseArmWarm {
+		t.Fatalf("instants: %+v", ins)
+	}
+}
+
+func TestSetEnabledDropsEvents(t *testing.T) {
+	r := New(0)
+	r.Span(TrackEngine, PhaseQuiesce).End()
+	r.SetEnabled(false)
+	if r.On() {
+		t.Fatal("On after SetEnabled(false)")
+	}
+	r.Span(TrackEngine, PhaseRestart).End()
+	r.Instant(TrackEngine, PhaseArmWarm, "", 0)
+	r.SetEnabled(true)
+	r.Span(TrackEngine, PhaseRemap).End()
+	var phases []string
+	for _, ev := range r.Events() {
+		if ev.Kind == KindBegin {
+			phases = append(phases, ev.Phase)
+		}
+	}
+	if len(phases) != 2 || phases[0] != PhaseQuiesce || phases[1] != PhaseRemap {
+		t.Fatalf("phases recorded across toggle: %v", phases)
+	}
+}
+
+// TestRingOverflowDropsOldest pins the overflow contract: the newest
+// events always survive, the drop counter accounts for the rest, and the
+// snapshot stays ordered and uncorrupted.
+func TestRingOverflowDropsOldest(t *testing.T) {
+	r := New(nStripes * 16) // minimum per-stripe rings (16 slots)
+	const emitted = 1000
+	for i := 0; i < emitted; i++ {
+		// Single track, so a single stripe overflows deterministically.
+		r.Instant(TrackEngine, PhaseArmWarm, "i", int64(i))
+	}
+	events := r.Events()
+	if len(events) != 16 {
+		t.Fatalf("got %d events, want ring capacity 16", len(events))
+	}
+	if want := uint64(emitted - 16); r.Dropped() != want {
+		t.Fatalf("Dropped = %d, want %d", r.Dropped(), want)
+	}
+	// The survivors are exactly the newest 16, in emission order.
+	for i, ev := range events {
+		if want := int64(emitted - 16 + i); ev.Arg != want {
+			t.Fatalf("event %d: arg %d, want %d (oldest not dropped first)", i, ev.Arg, want)
+		}
+		if i > 0 && (ev.T < events[i-1].T || ev.Seq <= events[i-1].Seq) {
+			t.Fatalf("snapshot out of order at %d: %+v after %+v", i, ev, events[i-1])
+		}
+	}
+}
+
+// TestConcurrentEmitters hammers one recorder from many goroutines
+// across every track (run under -race; CI runs the internal packages at
+// GOMAXPROCS 1 and 4). Each emitter's spans must survive pairing.
+func TestConcurrentEmitters(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		t.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			r := New(1 << 16)
+			tracks := []string{TrackEngine, TrackTransfer, TrackDaemon, TrackCanary, TrackWorkload}
+			const emitters = 8
+			const spansEach = 200
+			var wg sync.WaitGroup
+			for g := 0; g < emitters; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					track := tracks[g%len(tracks)]
+					proc := fmt.Sprintf("w%d", g)
+					for i := 0; i < spansEach; i++ {
+						sp := r.SpanProc(track, PhaseCopy, proc)
+						r.Metrics().Counter("test.spans").Add(1)
+						sp.EndArg("i", int64(i))
+					}
+				}(g)
+			}
+			// A reader racing the emitters must always see a consistent
+			// snapshot.
+			stopRead := make(chan struct{})
+			var rwg sync.WaitGroup
+			rwg.Add(1)
+			go func() {
+				defer rwg.Done()
+				for {
+					select {
+					case <-stopRead:
+						return
+					default:
+						_ = r.Events()
+					}
+				}
+			}()
+			wg.Wait()
+			close(stopRead)
+			rwg.Wait()
+			events := r.Events()
+			if err := CheckSpans(events); err != nil {
+				t.Fatalf("CheckSpans after concurrent emission: %v", err)
+			}
+			spans := Pair(events)
+			if want := emitters * spansEach; len(spans) != want {
+				t.Fatalf("got %d spans, want %d (dropped=%d)", len(spans), want, r.Dropped())
+			}
+			if got := r.Metrics().Counter("test.spans").Value(); got != int64(emitters*spansEach) {
+				t.Fatalf("counter = %d, want %d", got, emitters*spansEach)
+			}
+		})
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	r := New(0)
+	up := r.Span(TrackEngine, PhaseUpdate)
+	r.Span(TrackEngine, PhaseQuiesce).End()
+	up.EndNote("commit")
+	r.SpanProc(TrackTransfer, PhaseDiscover, "root").End()
+	r.Complete(TrackWorkload, PhaseInterval, 0, time.Millisecond, "p99_ns", 99)
+	r.Instant(TrackCanary, PhaseCanaryJudge, "p99_ns", 1234)
+	r.Metrics().Counter("core.updates").Add(1)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r.Events(), r.Metrics().Snapshot()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		OtherData struct {
+			Metrics map[string]int64 `json:"metrics"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+	// Track lanes: engine and transfer/root must land on distinct tids,
+	// with metadata naming them.
+	names := map[string]int{}
+	kinds := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			names[ev.Args["name"].(string)] = ev.Tid
+		}
+		if ev.Ph != "M" {
+			kinds[ev.Cat+"/"+ev.Ph] = true
+		}
+	}
+	if names[TrackEngine] == 0 || names[TrackTransfer+"/root"] == 0 {
+		t.Fatalf("missing thread_name metadata: %v", names)
+	}
+	if names[TrackEngine] == names[TrackTransfer+"/root"] {
+		t.Fatal("engine and transfer/root share a tid")
+	}
+	for _, want := range []string{"engine/B", "engine/E", "workload/X", "canary/i"} {
+		if !kinds[want] {
+			t.Fatalf("export lacks %s events; have %v", want, kinds)
+		}
+	}
+	if doc.OtherData.Metrics["core.updates"] != 1 {
+		t.Fatalf("metrics not exported: %v", doc.OtherData.Metrics)
+	}
+}
+
+func TestPairToleratesOverflowTruncation(t *testing.T) {
+	// An end whose begin was dropped must be ignored; a begin whose end
+	// is missing surfaces as Open. Construct the stream by hand.
+	events := []Event{
+		{Seq: 1, T: 1, Kind: KindEnd, Track: TrackEngine, Phase: PhaseQuiesce}, // begin lost
+		{Seq: 2, T: 2, Kind: KindBegin, Track: TrackEngine, Phase: PhaseRestart},
+		{Seq: 3, T: 3, Kind: KindEnd, Track: TrackEngine, Phase: PhaseRestart},
+		{Seq: 4, T: 4, Kind: KindBegin, Track: TrackEngine, Phase: PhaseRemap}, // still open
+		{Seq: 5, T: 9, Kind: KindInstant, Track: TrackEngine, Phase: PhaseArmWarm},
+	}
+	spans := Pair(events)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2: %+v", len(spans), spans)
+	}
+	if spans[0].Phase != PhaseRestart || spans[0].Open {
+		t.Fatalf("restart span wrong: %+v", spans[0])
+	}
+	if spans[1].Phase != PhaseRemap || !spans[1].Open || spans[1].Dur != 5 {
+		t.Fatalf("open remap span wrong: %+v", spans[1])
+	}
+}
+
+func TestPhaseTableRendersSpans(t *testing.T) {
+	r := New(0)
+	r.Span(TrackEngine, PhaseQuiesce).EndArg("pages", 3)
+	out := Timeline(r.Events())
+	for _, want := range []string{"engine", PhaseQuiesce, "pages=3"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Fatalf("timeline lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// BenchmarkRecorderDisabled pins the acceptance bar: a nil recorder's
+// span emission must be zero-alloc (and, being a nil check, almost
+// zero-cost). The soft-disabled path adds one atomic load.
+func BenchmarkRecorderDisabled(b *testing.B) {
+	b.Run("nil", func(b *testing.B) {
+		var r *Recorder
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Span(TrackEngine, PhaseQuiesce).End()
+		}
+	})
+	b.Run("off", func(b *testing.B) {
+		r := New(0)
+		r.SetEnabled(false)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Span(TrackEngine, PhaseQuiesce).End()
+		}
+	})
+}
+
+// BenchmarkRecorderEnabled is the live-emission cost (two ring writes
+// under the stripe lock per span).
+func BenchmarkRecorderEnabled(b *testing.B) {
+	r := New(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Span(TrackEngine, PhaseQuiesce).End()
+	}
+}
+
+// TestDisabledPathZeroAlloc is the test-suite twin of the benchmark, so
+// a regression fails plain `go test` too.
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	var nilRec *Recorder
+	if n := testing.AllocsPerRun(1000, func() {
+		nilRec.Span(TrackEngine, PhaseQuiesce).End()
+		nilRec.Instant(TrackDaemon, PhasePass, "", 0)
+	}); n != 0 {
+		t.Fatalf("nil recorder allocates %.1f/op", n)
+	}
+	off := New(0)
+	off.SetEnabled(false)
+	if n := testing.AllocsPerRun(1000, func() {
+		off.Span(TrackEngine, PhaseQuiesce).End()
+		off.Instant(TrackDaemon, PhasePass, "", 0)
+	}); n != 0 {
+		t.Fatalf("soft-disabled recorder allocates %.1f/op", n)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/program"
 	"repro/internal/types"
 )
@@ -140,6 +141,11 @@ type Options struct {
 	// pipelined update engine closes it when the concurrent RESTART phase
 	// fails, so rollback never waits for a full old-side walk.
 	Cancel <-chan struct{}
+	// Recorder, when set, records per-process discover/copy spans on the
+	// transfer track (each process as its own sub-track, so the parallel
+	// old-side walk renders as overlapping lanes) and, under
+	// VerifyShadows, the aggregate checksum instant.
+	Recorder *obs.Recorder
 }
 
 // ShadowReader is one process's view of a pre-copy checkpoint
@@ -987,6 +993,11 @@ func DiscoverInstance(oldInst *program.Instance, opts Options) (*InstanceDiscove
 		wg.Add(1)
 		go func(i int, op *program.Proc) {
 			defer wg.Done()
+			if opts.Recorder.On() {
+				// Key string built only when recording — the disabled
+				// path must stay allocation-free.
+				defer opts.Recorder.SpanProc(obs.TrackTransfer, obs.PhaseDiscover, op.Key().String()).End()
+			}
 			discs[i], errs[i] = DiscoverProc(op, opts)
 		}(i, op)
 	}
@@ -1028,6 +1039,10 @@ func (id *InstanceDiscovery) Complete(newInst *program.Instance, analyses map[pr
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			rec := id.discs[i].pt.opts.Recorder
+			if rec.On() {
+				defer rec.SpanProc(obs.TrackTransfer, obs.PhaseCopy, id.procs[i].Key().String()).End()
+			}
 			s, err := id.discs[i].Complete(newProcs[i], procAnalyses[i])
 			results[i] = result{stats: s, err: err}
 		}(i)
@@ -1039,6 +1054,11 @@ func (id *InstanceDiscovery) Complete(newInst *program.Instance, analyses map[pr
 			return total, r.err
 		}
 		total.Add(r.stats)
+	}
+	if len(id.discs) > 0 {
+		if rec := id.discs[0].pt.opts.Recorder; rec != nil && total.Checksum != 0 {
+			rec.Instant(obs.TrackTransfer, obs.PhaseChecksum, "fnv64a", int64(total.Checksum))
+		}
 	}
 	return total, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/canary"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 )
 
 // SustainedOptions configures a sustained-rate driver.
@@ -32,6 +33,11 @@ type SustainedOptions struct {
 	// Timeout bounds one round trip (default 5s — longer than any update
 	// window, so requests in flight across a quiesce block, not fail).
 	Timeout time.Duration
+	// Recorder, when set, receives every closed statistics bucket as a
+	// complete event on the workload track (p99 attached) — the
+	// per-interval latency timeline the spike trace aligns against the
+	// daemon's pass spans — plus request/error counters in the registry.
+	Recorder *obs.Recorder
 }
 
 func (o *SustainedOptions) fill() {
@@ -127,8 +133,14 @@ type Sustained struct {
 	stop  chan struct{}
 	wg    sync.WaitGroup
 
+	rec   *obs.Recorder
+	recT0 time.Duration // recorder-relative time of s.start
+	cReq  *obs.Counter
+	cErr  *obs.Counter
+
 	mu      sync.Mutex
 	stats   SustainedStats
+	emitted int // interval buckets already flushed to the recorder
 	stopped bool
 	lastErr error
 }
@@ -151,6 +163,10 @@ func StartSustained(k *kernel.Kernel, opts SustainedOptions) (*Sustained, error)
 		opts:  opts,
 		start: time.Now(),
 		stop:  make(chan struct{}),
+		rec:   opts.Recorder,
+		recT0: opts.Recorder.Now(),
+		cReq:  opts.Recorder.Metrics().Counter("workload.requests"),
+		cErr:  opts.Recorder.Metrics().Counter("workload.errors"),
 	}
 	for c := 0; c < opts.Clients; c++ {
 		s.wg.Add(1)
@@ -187,6 +203,11 @@ func (s *Sustained) Stop() SustainedStats {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.mu.Lock()
+	// Flush every remaining bucket, including the trailing partial one,
+	// so a post-run export sees the full interval timeline.
+	s.flushIntervalsLocked(len(s.stats.Intervals))
+	s.mu.Unlock()
 	return s.Snapshot()
 }
 
@@ -208,8 +229,10 @@ func (s *Sustained) record(took time.Duration, err error, bad bool) {
 	for len(s.stats.Intervals) <= idx {
 		s.stats.Intervals = append(s.stats.Intervals, IntervalStat{Index: len(s.stats.Intervals)})
 	}
+	s.flushIntervalsLocked(idx)
 	iv := &s.stats.Intervals[idx]
 	if err != nil {
+		s.cErr.Add(1)
 		s.stats.Errors++
 		iv.Errors++
 		s.lastErr = err
@@ -218,12 +241,42 @@ func (s *Sustained) record(took time.Duration, err error, bad bool) {
 	s.stats.Requests++
 	s.stats.Latency += took
 	s.stats.Hist.Observe(took)
+	s.cReq.Add(1)
 	iv.Requests++
 	iv.Latency += took
 	iv.Hist.Observe(took)
 	if bad {
 		s.stats.BadResponses++
 	}
+}
+
+// flushIntervalsLocked emits every bucket strictly before cur as a
+// complete event on the workload track (each bucket's span is exactly
+// its wall-clock window in recorder time, with the bucket p99 attached),
+// so the exported trace lines workload-latency spikes up under the
+// daemon passes that overlapped them. Caller holds s.mu.
+func (s *Sustained) flushIntervalsLocked(cur int) {
+	if !s.rec.On() {
+		return
+	}
+	for ; s.emitted < cur && s.emitted < len(s.stats.Intervals); s.emitted++ {
+		iv := &s.stats.Intervals[s.emitted]
+		var p99 time.Duration
+		if iv.Requests > 0 {
+			p99 = iv.Hist.Quantile(0.99)
+		}
+		s.rec.Complete(obs.TrackWorkload, obs.PhaseInterval,
+			s.recT0+time.Duration(s.emitted)*s.opts.Interval, s.opts.Interval,
+			"p99_ns", int64(p99))
+	}
+}
+
+// IntervalBounds returns bucket idx's window in recorder-relative time —
+// the correlation key between the driver's IntervalStats and the
+// recorder's daemon-pass spans.
+func (s *Sustained) IntervalBounds(idx int) (start, end time.Duration) {
+	start = s.recT0 + time.Duration(idx)*s.opts.Interval
+	return start, start + s.opts.Interval
 }
 
 // client is one closed-loop session: connect, issue requests until Stop,
