@@ -698,3 +698,31 @@ func BenchmarkCanary(b *testing.B) {
 		b.ReportMetric(res.CanaryOverheadPct()*100, "overhead-pct")
 	})
 }
+
+// BenchmarkFaults runs the update-time fault-injection campaign: every
+// fault kind at every eligible phase under live traffic, each cell
+// asserting guaranteed rollback (cause classification, bit-identical old
+// state, restored soft-dirty accounting, zero failed responses, no
+// leaks). RunFaults fails internally on any violated clause, so every
+// reported cell already survived.
+func BenchmarkFaults(b *testing.B) {
+	res, err := experiments.RunFaults(experiments.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		b.Run(fmt.Sprintf("%s/%s", row.Phase, row.Cell), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// The campaign ran once above; report its cells per run.
+			}
+			b.ReportMetric(float64(row.RecoveryTime.Microseconds()), "recovery-µs")
+			b.ReportMetric(float64(row.RequestsAfter), "requests-after")
+			b.ReportMetric(float64(row.Errors+row.BadResponses), "failed-responses")
+		})
+	}
+	b.Run("campaign/kinds", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+		}
+		b.ReportMetric(float64(res.FaultKinds()), "fault-kinds")
+	})
+}

@@ -30,6 +30,7 @@ func main() {
 		warm        = flag.Bool("warm", false, "warm-standby readiness daemon: request->commit latency warm vs cold, plus the fork-heavy per-process revalidation scenario")
 		overhead    = flag.Bool("overhead", false, "live-traffic overhead: warm-daemon duty-cycle cost curve under the real servers, plus mid-traffic warm updates with shadow-verified transfer")
 		canaryExp   = flag.Bool("canary", false, "post-commit canary window: SLO-gated auto-rollback under live traffic, including a forced serving regression")
+		faults      = flag.Bool("faults", false, "fault-injection campaign: every fault kind at every eligible update phase under live traffic, each cell asserting guaranteed rollback")
 		all         = flag.Bool("all", false, "run every experiment")
 		full        = flag.Bool("full", false, "paper-scale parameters (slow)")
 		reps        = flag.Int("reps", 3, "repetitions for Table 3 (best-of)")
@@ -52,6 +53,7 @@ func main() {
 		Warm:        *warm,
 		Overhead:    *overhead,
 		Canary:      *canaryExp,
+		Faults:      *faults,
 		All:         *all,
 		Full:        *full,
 		Reps:        *reps,

@@ -25,6 +25,7 @@ type config struct {
 	Warm        bool
 	Overhead    bool
 	Canary      bool
+	Faults      bool
 	All         bool
 	Full        bool
 	Reps        int
@@ -141,6 +142,14 @@ func run(cfg config, out io.Writer) error {
 		res, err := experiments.RunCanary(ecfg)
 		if err != nil {
 			return fmt.Errorf("canary: %w", err)
+		}
+		fmt.Fprintln(out, res.Render())
+	}
+	if cfg.All || cfg.Faults {
+		ran = true
+		res, err := experiments.RunFaults(ecfg)
+		if err != nil {
+			return fmt.Errorf("faults: %w", err)
 		}
 		fmt.Fprintln(out, res.Render())
 	}

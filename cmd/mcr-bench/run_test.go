@@ -86,6 +86,27 @@ func TestRunOverheadExperiment(t *testing.T) {
 	}
 }
 
+func TestRunFaultsExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run(config{Faults: true, Reps: 1}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"fault-injection campaign",
+		"deadline:restart",
+		"deadline:transfer",
+		"fault:restart-crash",
+		"canary:monitor",
+		"fault:rollback-restore",
+		"15/15 cells survived",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in faults output:\n%s", want, got)
+		}
+	}
+}
+
 func TestRunCanaryExperiment(t *testing.T) {
 	var out strings.Builder
 	if err := run(config{Canary: true, Reps: 1}, &out); err != nil {

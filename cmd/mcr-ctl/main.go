@@ -31,16 +31,23 @@ func main() {
 		warm        = flag.Bool("warm", false, "arm the warm-standby readiness daemon (updates start at quiesce; shows the warm status line)")
 		canarySpec  = flag.String("canary", "", "arm a post-commit canary window with this SLO (e.g. p99=5ms,tput=0.5,err=0.01); a breach auto-reverts the update")
 		traceOut    = flag.String("trace-out", "", "arm the flight recorder and write a Chrome-trace-event JSON file here (load in Perfetto or chrome://tracing)")
+		fault       = flag.String("fault", "", "arm this fault-injection point for the update (e.g. restart-hang, transfer-stall; see internal/faultinject); the update rolls back and mcr-ctl exits 3")
+		deadline    = flag.String("deadline", "", "per-phase watchdog budgets as phase=dur[,phase=dur...] (e.g. restart=250ms,transfer=1s); unlisted phases keep the default profile")
 	)
 	flag.Parse()
 
 	cfg := config{Server: *server, Updates: *updates, Parallelism: *parallelism,
 		Precopy: *precopy, Epochs: *epochs, Sequential: *sequential, Warm: *warm,
-		Canary: *canarySpec, TraceOut: *traceOut}
+		Canary: *canarySpec, TraceOut: *traceOut, Fault: *fault, Deadlines: *deadline}
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mcr-ctl:", err)
 		if errors.Is(err, errUsage) {
 			os.Exit(2)
+		}
+		if errors.Is(err, errRolledBack) {
+			// Distinct status: the deployment failed but the rollback
+			// guarantee held (see the "rollback cause:" output line).
+			os.Exit(3)
 		}
 		os.Exit(1)
 	}

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/canary"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/kernel"
 	"repro/internal/obs"
 	"repro/internal/servers"
@@ -21,6 +23,38 @@ const ctlPath = "/run/mcr.sock"
 // exit with the usage status instead of the failure status.
 var errUsage = errors.New("usage error")
 
+// errRolledBack marks a scenario in which an update rolled back (or a
+// canary window reverted): the old version kept serving, but the
+// deployment did not land. main exits with its own status (3) so
+// scripts can tell "rolled back cleanly" from "tool failed".
+var errRolledBack = errors.New("update rolled back")
+
+// parseDeadlines parses the -deadline flag: comma-separated
+// phase=duration pairs against the watchdog's phase names.
+func parseDeadlines(s string) (map[string]time.Duration, error) {
+	valid := map[string]bool{
+		core.WDPrecopy: true, core.WDSpeculate: true, core.WDQuiesce: true,
+		core.WDAnalysis: true, core.WDRestart: true, core.WDTransfer: true,
+		core.WDCommit: true,
+	}
+	out := map[string]time.Duration{}
+	for _, pair := range strings.Split(s, ",") {
+		phase, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("want phase=duration, got %q", pair)
+		}
+		if !valid[phase] {
+			return nil, fmt.Errorf("unknown phase %q", phase)
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("bad duration for phase %s: %q", phase, val)
+		}
+		out[phase] = d
+	}
+	return out, nil
+}
+
 // config is the parsed command line.
 type config struct {
 	Server      string
@@ -32,6 +66,8 @@ type config struct {
 	Warm        bool   // arm the warm-standby readiness daemon
 	Canary      string // SLO spec; non-empty arms the post-commit canary window
 	TraceOut    string // write a Chrome-trace-event JSON file of the whole run
+	Fault       string // arm this fault-injection point for the first update
+	Deadlines   string // per-phase watchdog budgets, phase=dur[,phase=dur...]
 }
 
 // run executes the whole scenario — launch, stage, update, verify the
@@ -54,6 +90,28 @@ func run(cfg config, out io.Writer) error {
 			return fmt.Errorf("%w: -canary: %v", errUsage, err)
 		}
 	}
+	var deadlines map[string]time.Duration
+	if cfg.Deadlines != "" {
+		var err error
+		if deadlines, err = parseDeadlines(cfg.Deadlines); err != nil {
+			return fmt.Errorf("%w: -deadline: %v", errUsage, err)
+		}
+	}
+	var plane *faultinject.Plane
+	if cfg.Fault != "" {
+		known := false
+		for _, pt := range faultinject.Catalog() {
+			if string(pt) == cfg.Fault {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("%w: -fault: unknown injection point %q (see faultinject.Catalog)", errUsage, cfg.Fault)
+		}
+		plane = faultinject.New(1)
+		plane.Arm(faultinject.Point(cfg.Fault))
+	}
 	spec, err := servers.SpecByName(cfg.Server)
 	if err != nil {
 		return fmt.Errorf("%w: %v", errUsage, err)
@@ -75,19 +133,29 @@ func run(cfg config, out io.Writer) error {
 
 	k := kernel.New()
 	servers.SeedFiles(k)
+	plane.AttachRecorder(rec)
 	engine := core.NewEngine(k, core.Options{
-		Parallelism:   cfg.Parallelism,
-		Precopy:       cfg.Precopy,
-		PrecopyEpochs: cfg.Epochs,
-		Sequential:    cfg.Sequential,
-		Warm:          cfg.Warm,
-		Recorder:      rec,
+		Parallelism:    cfg.Parallelism,
+		Precopy:        cfg.Precopy,
+		PrecopyEpochs:  cfg.Epochs,
+		Sequential:     cfg.Sequential,
+		Warm:           cfg.Warm,
+		Recorder:       rec,
+		Faults:         plane,
+		PhaseDeadlines: deadlines,
+		VerifyRollback: plane != nil || deadlines != nil,
 	})
 	if _, err := engine.Launch(spec.Version(0)); err != nil {
 		return fmt.Errorf("launch: %w", err)
 	}
 	defer engine.Shutdown()
 	fmt.Fprintf(out, "launched %s-%s on port %d\n", spec.Name, spec.Version(0).Release, spec.Port)
+	if plane != nil {
+		fmt.Fprintf(out, "fault armed: %s\n", cfg.Fault)
+	}
+	if deadlines != nil {
+		fmt.Fprintf(out, "phase deadlines: %s\n", cfg.Deadlines)
+	}
 
 	// The canary needs live traffic to judge the new version, and a trace
 	// capture needs it for the workload-interval track: a small sustained
@@ -137,6 +205,7 @@ func run(cfg config, out io.Writer) error {
 		return nil
 	}
 
+	rolledBack := "" // first rollback cause; non-empty ends the scenario
 	if err := send("ping"); err != nil {
 		return err
 	}
@@ -202,6 +271,17 @@ func run(cfg config, out io.Writer) error {
 				}
 				fmt.Fprintln(out, line)
 			}
+			if rep.RolledBack {
+				// The stable machine-readable line: scripts key on this
+				// (and on exit status 3) to tell a classified rollback —
+				// deadline:<phase>, fault:<point>, canary:<metric> or
+				// update — from a tool failure.
+				fmt.Fprintf(out, "rollback cause: %s\n", rep.RollbackCause)
+				if rep.RollbackSecondary != "" {
+					fmt.Fprintf(out, "rollback secondary: %s\n", rep.RollbackSecondary)
+				}
+				rolledBack = rep.RollbackCause
+			}
 			if cfg.Precopy {
 				fmt.Fprintf(out, "  precopy: %d epochs (+%d handoff pages), %d objects shadowed; downtime copy: %d B from shadow, %d B live (%.0f%% off the critical path)\n",
 					rep.Precopy.Epochs, rep.Precopy.FinalPages, rep.Precopy.ObjectsCopied,
@@ -223,6 +303,11 @@ func run(cfg config, out io.Writer) error {
 			return fmt.Errorf("session died after update %d: %w", i, err)
 		}
 		fmt.Fprintf(out, "  client session alive: %s\n", resp)
+		if rolledBack != "" {
+			// The rollback guarantee held (old version serving, session
+			// alive); stop deploying and report the failed deployment.
+			break
+		}
 	}
 	if cfg.Warm {
 		// Operator disarm: hands every consumed bit back and stops the
@@ -264,6 +349,10 @@ func run(cfg config, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "trace written to %s (%d events, %d dropped)\n",
 			cfg.TraceOut, len(rec.Events()), rec.Dropped())
+	}
+	if rolledBack != "" {
+		fmt.Fprintln(out, "done: update rolled back; the old version kept serving and the client session never reconnected")
+		return fmt.Errorf("%w (cause %s)", errRolledBack, rolledBack)
 	}
 	fmt.Fprintln(out, "done: all updates deployed live; the client session never reconnected")
 	return nil

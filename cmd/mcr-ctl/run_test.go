@@ -231,8 +231,9 @@ func TestRunCanaryRevertsRegressionWithCause(t *testing.T) {
 	// surface the cause in both the status line and the report line.
 	defer servers.SetHttpdDegrade(30*time.Millisecond, 1)()
 	var out strings.Builder
-	if err := run(config{Server: "httpd", Updates: 1, Canary: "p99=2ms"}, &out); err != nil {
-		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	err := run(config{Server: "httpd", Updates: 1, Canary: "p99=2ms"}, &out)
+	if !errors.Is(err, errRolledBack) {
+		t.Fatalf("err = %v, want errRolledBack\noutput:\n%s", err, out.String())
 	}
 	got := out.String()
 	for _, want := range []string{
@@ -240,8 +241,78 @@ func TestRunCanaryRevertsRegressionWithCause(t *testing.T) {
 		"outcome=reverted",
 		`cause="p99`,
 		"canary: reverted (cause=canary:p99)",
+		"rollback cause: canary:p99",
 		"client session alive:",
 		"0 wrong responses",
+		"done: update rolled back",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunUnknownFaultPointIsUsageError(t *testing.T) {
+	var out strings.Builder
+	err := run(config{Server: "nginx", Updates: 1, Fault: "no-such-fault"}, &out)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("err = %v, want errUsage", err)
+	}
+}
+
+func TestRunMalformedDeadlineIsUsageError(t *testing.T) {
+	for _, spec := range []string{"restart", "restart=fast", "restart=-1s", "bogus=1s", "restart=0"} {
+		var out strings.Builder
+		err := run(config{Server: "nginx", Updates: 1, Deadlines: spec}, &out)
+		if !errors.Is(err, errUsage) {
+			t.Errorf("-deadline %q: err = %v, want errUsage", spec, err)
+		}
+	}
+}
+
+func TestRunInjectedFaultRollsBackWithCause(t *testing.T) {
+	// A loud RESTART crash: the update must roll back, the cause must land
+	// on its own stable line, and run must return the rollback sentinel
+	// (main turns it into exit status 3).
+	var out strings.Builder
+	err := run(config{Server: "nginx", Updates: 2, Fault: "restart-crash"}, &out)
+	if !errors.Is(err, errRolledBack) {
+		t.Fatalf("err = %v, want errRolledBack\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"fault armed: restart-crash",
+		"ERR rolled back",
+		"rollback cause: fault:restart-crash",
+		"client session alive:",
+		"done: update rolled back",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// The scenario stops after the failed deployment: the second staged
+	// update must not have been attempted.
+	if strings.Contains(got, "OK updated to") {
+		t.Errorf("a later update landed after the rollback:\n%s", got)
+	}
+}
+
+func TestRunWatchdogDeadlineRollsBackWithCause(t *testing.T) {
+	// A silent RESTART hang, recoverable only by the armed per-phase
+	// watchdog: the cause line must classify it as deadline:restart.
+	var out strings.Builder
+	err := run(config{Server: "nginx", Updates: 1, Fault: "restart-hang", Deadlines: "restart=200ms"}, &out)
+	if !errors.Is(err, errRolledBack) {
+		t.Fatalf("err = %v, want errRolledBack\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"fault armed: restart-hang",
+		"phase deadlines: restart=200ms",
+		"rollback cause: deadline:restart",
+		"client session alive:",
+		"done: update rolled back",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q:\n%s", want, got)

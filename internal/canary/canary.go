@@ -126,9 +126,11 @@ func (s Sample) ErrorRate() float64 {
 	return float64(s.Errors) / float64(n)
 }
 
-// Breach records one SLO violation.
+// Breach records one SLO violation. Metric "monitor" is synthetic: the
+// window's judge died without delivering a verdict, which the engine's
+// failsafe treats as a breach (an unjudged version is not accepted).
 type Breach struct {
-	Metric   string  // "p99", "throughput" or "errors"
+	Metric   string  // "p99", "throughput", "errors" or "monitor"
 	Value    float64 // observed value (ns for p99)
 	Limit    float64 // the configured limit (ns for p99)
 	Interval int     // 1-based monitor interval that breached
@@ -142,6 +144,8 @@ func (b Breach) String() string {
 	case "throughput":
 		return fmt.Sprintf("throughput %.1f rps < %.1f rps (interval %d)",
 			b.Value, b.Limit, b.Interval)
+	case "monitor":
+		return "monitor died before delivering a verdict"
 	default:
 		return fmt.Sprintf("error rate %.4f > %.4f (interval %d)",
 			b.Value, b.Limit, b.Interval)

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/program"
@@ -67,6 +68,10 @@ type Options struct {
 	// the in-call pre-copy loop; the warm daemon sets its own track so
 	// its epochs nest under pass spans).
 	Track string
+	// Faults consults the fault-injection plane at the epoch seam
+	// (faultinject.PointEpochFail): a firing poisons the snapshotter
+	// instead of producing a half-trusted epoch. nil never fires.
+	Faults *faultinject.Plane
 }
 
 func (o *Options) fill() {
@@ -117,6 +122,7 @@ type Snapshotter struct {
 	procs     map[program.ProcKey]*ProcShadow
 	stats     Stats
 	discarded bool
+	err       error // poisoned: shadows cannot be trusted (failed epoch / shot daemon pass)
 }
 
 // New builds a snapshotter over the running instance. Epochs start when
@@ -198,6 +204,14 @@ func (s *Snapshotter) FinalEpoch() EpochStats {
 // shadow the objects on the consumed pages.
 func (s *Snapshotter) epoch() EpochStats {
 	es := EpochStats{}
+	// Injected epoch failure: the pass dies before consuming anything,
+	// and the snapshotter is poisoned — an epoch that failed partway
+	// cannot vouch for which shadows are current, so the update that
+	// adopts this checkpoint must abort rather than trust them.
+	if err := s.opts.Faults.Check(faultinject.PointEpochFail); err != nil {
+		s.fail(err)
+		return es
+	}
 	for _, p := range s.inst.Procs() {
 		pages := p.Space().ReadAndClearSoftDirty()
 		if len(pages) == 0 {
@@ -243,6 +257,25 @@ func (s *Snapshotter) setConverged() {
 	s.mu.Lock()
 	s.stats.Converged = true
 	s.mu.Unlock()
+}
+
+// fail poisons the snapshotter: the first failure sticks.
+func (s *Snapshotter) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// Err reports whether the snapshotter is poisoned — some epoch or daemon
+// pass failed, so the shadow set's currency can no longer be vouched
+// for. An engine adopting a poisoned checkpoint must roll back; Discard
+// still restores every consumed bit as usual.
+func (s *Snapshotter) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
 }
 
 // ProcShadow returns the checkpoint state of the process with the given

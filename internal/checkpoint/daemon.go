@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/program"
 	"repro/internal/trace"
@@ -31,6 +32,10 @@ type DaemonOptions struct {
 	// the pass/epoch/page tallies into the metrics registry — the
 	// alignment data the spike trace correlates workload p99 against.
 	Recorder *obs.Recorder
+	// Faults consults the fault-injection plane at the pass seam
+	// (faultinject.PointDaemonStall) and, through the snapshotter, at the
+	// epoch seam. nil never fires.
+	Faults *faultinject.Plane
 }
 
 func (o *DaemonOptions) fill() {
@@ -111,7 +116,7 @@ func StartDaemon(inst *program.Instance, warm *trace.WarmAnalysis, opts DaemonOp
 	opts.fill()
 	d := &Daemon{
 		inst: inst,
-		snap: New(inst, Options{NoEpochHistory: true, Recorder: opts.Recorder, Track: obs.TrackDaemon}),
+		snap: New(inst, Options{NoEpochHistory: true, Recorder: opts.Recorder, Track: obs.TrackDaemon, Faults: opts.Faults}),
 		warm: warm,
 		opts: opts,
 		stop: make(chan struct{}),
@@ -176,6 +181,18 @@ func (d *Daemon) loop() {
 // pass runs one warm iteration: poll staleness, run a shadow epoch if the
 // dirty set crossed the threshold, then refresh the warm analysis.
 func (d *Daemon) pass() {
+	// Injected stall: the pass hangs until the daemon is stopped (the
+	// update's detach join releases it via d.stop) or the plane's stalls
+	// are released. A pass that hung and had to be shot cannot vouch for
+	// shadow currency, so it poisons the snapshotter — the update that
+	// adopts this daemon's checkpoint aborts instead of trusting it.
+	if err := d.opts.Faults.Stall(faultinject.PointDaemonStall, d.stop); err != nil {
+		d.snap.fail(err)
+		d.mu.Lock()
+		d.stats.Errors++
+		d.mu.Unlock()
+		return
+	}
 	stale := d.ShadowLag()
 	var es EpochStats
 	ranEpoch := false

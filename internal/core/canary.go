@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/canary"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/program"
 	"repro/internal/reinit"
@@ -38,6 +39,10 @@ type canaryRun struct {
 	done      chan struct{} // closed once the window is resolved
 
 	span obs.Span // open canary-window span; ended with the verdict
+
+	// failsafe reverts the window if the monitor goroutine dies without
+	// resolving it; stopped by the first resolution.
+	failsafe *time.Timer
 
 	resolved bool // guarded by Engine.mu
 }
@@ -195,6 +200,19 @@ func (e *Engine) openCanary(old, newInst *program.Instance, rep *UpdateReport) b
 	e.current = newInst
 	e.mu.Unlock()
 	newInst.Resume()
+	// Failsafe: if the monitor goroutine dies without resolving (a crash,
+	// or the injected canary-monitor fault), the window must not stay
+	// open forever refusing further updates with an unjudged new version
+	// serving. Past the deadline plus a few intervals of slack the window
+	// resolves as a breach of the synthetic "monitor" metric — losing the
+	// judge is itself a reason not to trust the new version.
+	slack := 4 * interval
+	if slack < 20*time.Millisecond {
+		slack = 20 * time.Millisecond
+	}
+	run.failsafe = time.AfterFunc(window+slack, func() {
+		e.resolveCanary(run, &canary.Breach{Metric: "monitor"})
+	})
 	go e.canaryLoop(run, window, interval)
 	return true
 }
@@ -219,6 +237,13 @@ func (e *Engine) canaryLoop(run *canaryRun, window, interval time.Duration) {
 			e.resolveCanary(run, br)
 			return
 		case <-tick.C:
+			// Injected monitor death: the goroutine exits without
+			// resolving the window, leaving the verdict to the failsafe
+			// (cause canary:monitor).
+			if err := e.opts.Faults.Check(faultinject.PointCanaryMonitor); err != nil {
+				e.opts.Recorder.InstantNote(obs.TrackCanary, obs.PhaseCanaryJudge, "monitor-died")
+				return
+			}
 			br := run.mon.Tick(run.src())
 			e.judgeInstant(br)
 			if br != nil {
@@ -267,6 +292,13 @@ func (e *Engine) resolveCanary(run *canaryRun, br *canary.Breach) {
 		return
 	}
 	run.resolved = true
+	if run.failsafe != nil {
+		run.failsafe.Stop()
+	}
+	// Wake the monitor loop: a resolution arriving from outside it (an
+	// operator breach call, the failsafe) must not leave it ticking for
+	// the rest of the window.
+	run.close()
 	e.canaryFinal = run.mon.Status()
 	e.canaryRun = nil
 	if br == nil {
@@ -304,6 +336,7 @@ func (e *Engine) resolveCanary(run *canaryRun, br *canary.Breach) {
 	// one's failure mode.
 	_, _ = run.new.Quiesce(e.opts.QuiesceTimeout)
 	run.new.Terminate()
+	e.auditRollback(run.old, run.rep)
 	run.old.Resume()
 	rsp.EndNote(cause)
 	run.span.EndNote("reverted")

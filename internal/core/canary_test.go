@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/canary"
+	"repro/internal/leakcheck"
 	"repro/internal/program"
 	"repro/internal/trace"
 )
@@ -234,6 +235,7 @@ func TestCanaryFaultMatrix(t *testing.T) {
 			if tc.preUpdate != nil {
 				tc.preUpdate(h)
 			}
+			g0 := leakcheck.Goroutines()
 
 			rep, err := e.Update(echodVersion("2.0", 1, "v2", true, 7000))
 			if err != nil {
@@ -340,6 +342,15 @@ func TestCanaryFaultMatrix(t *testing.T) {
 			}
 			if n := consumedPages(cur); n != 0 {
 				t.Fatalf("%d consumed soft-dirty pages not restored", n)
+			}
+
+			// Rollback hygiene: nothing the resolved window spawned is
+			// still running, and no pid reservation leaked on the survivor.
+			if err := leakcheck.CheckGoroutines(g0, 2*time.Second); err != nil {
+				t.Fatal(err)
+			}
+			if err := leakcheck.CheckReservedPids(cur); err != nil {
+				t.Fatal(err)
 			}
 
 			// The survivor is still updateable: shadows and soft-dirty

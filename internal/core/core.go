@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/canary"
 	"repro/internal/checkpoint"
+	"repro/internal/faultinject"
 	"repro/internal/kernel"
 	"repro/internal/mem"
 	"repro/internal/obs"
@@ -124,6 +125,23 @@ type Options struct {
 	// roughly equal to the downtime, which is the old version's cost, not
 	// the new version's behavior.
 	CanaryGrace int
+	// PhaseDeadlines is the per-phase watchdog budget table (keys are the
+	// WD* phase names). nil selects DefaultPhaseDeadlines(); an explicitly
+	// empty map disables the watchdog. A phase exceeding its budget is
+	// aborted — the pipeline cancel fires, injected stalls release, and
+	// the update rolls back with RollbackCause "deadline:<phase>".
+	PhaseDeadlines map[string]time.Duration
+	// Faults, when set, is the fault-injection plane every update-path
+	// seam consults (see internal/faultinject). nil — the production
+	// configuration — costs one pointer check per point.
+	Faults *faultinject.Plane
+	// VerifyRollback arms the rollback bit-identity audit: the old
+	// instance's state digest is captured at quiescence and recomputed
+	// just before it resumes from any rollback (pre-commit or canary
+	// revert); UpdateReport.RollbackVerified/RollbackIdentical report the
+	// comparison. Costs one full-state digest per update; meant for
+	// harnesses and the fault campaign.
+	VerifyRollback bool
 	// PolicySet marks Policy as explicitly provided (a zero Policy is the
 	// fully-precise ablation).
 	PolicySet bool
@@ -156,6 +174,9 @@ func (o *Options) fill() {
 	}
 	if o.CanaryGrace == 0 {
 		o.CanaryGrace = 2
+	}
+	if o.PhaseDeadlines == nil {
+		o.PhaseDeadlines = DefaultPhaseDeadlines()
 	}
 }
 
@@ -207,9 +228,24 @@ type UpdateReport struct {
 	Reason     error
 	// RollbackCause classifies RolledBack: "update" for a pre-commit
 	// conflict or failure (the three-phase machinery aborted and the old
-	// version resumed from its checkpoint), "canary:<metric>" for a
-	// post-commit SLO breach that reverted to the adoptable old instance.
+	// version resumed from its checkpoint), "deadline:<phase>" when the
+	// watchdog aborted a phase that blew its budget, "fault:<point>" when
+	// an injected fault fired, "canary:<metric>" for a post-commit SLO
+	// breach that reverted to the adoptable old instance.
 	RollbackCause string
+	// RollbackSecondary classifies a second fault that fired while the
+	// rollback itself was reverting (the double-fault case); empty
+	// otherwise. RollbackCause keeps the primary abort cause and Reason's
+	// chain carries both errors.
+	RollbackSecondary string
+	// RollbackVerified / RollbackIdentical report the Options.VerifyRollback
+	// audit: the old instance's quiesce-time state digest recomputed just
+	// before it resumed from a rollback. Identical means the abort handed
+	// back bit-identical state.
+	RollbackVerified  bool
+	RollbackIdentical bool
+
+	preDigest uint64 // quiesce-time trace.StateDigest of the old instance (VerifyRollback)
 
 	// Canary reports the update committed into a canary window instead of
 	// finalizing immediately. CanaryOutcome is "open" while the window is
@@ -340,6 +376,7 @@ func (e *Engine) newDaemonLocked() *checkpoint.Daemon {
 			Interval:  e.opts.WarmInterval,
 			DutyCycle: e.opts.WarmDutyCycle,
 			Recorder:  e.opts.Recorder,
+			Faults:    e.opts.Faults,
 		})
 }
 
@@ -557,10 +594,15 @@ func (e *Engine) Update(v2 *program.Version) (*UpdateReport, error) {
 		rep.WarmLagAtRequest = warm.lagAtRequest
 		rep.WarmDutyCycle = warm.dutyCycle
 	}
+	// The watchdog monitors this attempt's phase budgets and owns the
+	// pipeline cancel channel; the stop join runs before the bookkeeping
+	// defer so no monitor goroutine outlives its update.
+	wd := newWatchdog(e.opts.PhaseDeadlines, e.opts.Faults, e.opts.Recorder)
+	defer wd.stop()
 	if e.opts.Sequential {
-		return e.updateSequential(old, v2, rep, warm)
+		return e.updateSequential(old, v2, rep, warm, wd)
 	}
-	return e.updatePipelined(old, v2, rep, warm)
+	return e.updatePipelined(old, v2, rep, warm, wd)
 }
 
 // precopy arms and runs the incremental pre-copy checkpoint engine while
@@ -580,6 +622,7 @@ func (e *Engine) precopy(old *program.Instance, rep *UpdateReport) *checkpoint.S
 		MaxEpochs: e.opts.PrecopyEpochs,
 		Interval:  e.opts.PrecopyInterval,
 		Recorder:  e.opts.Recorder,
+		Faults:    e.opts.Faults,
 	})
 	rep.Precopy = snap.Run()
 	sp.EndArg("epochs", int64(rep.Precopy.Epochs))
@@ -593,8 +636,15 @@ func (e *Engine) precopy(old *program.Instance, rep *UpdateReport) *checkpoint.S
 // is non-nil exactly when every step succeeded.
 func (e *Engine) restart(old *program.Instance, v2 *program.Version,
 	mgr *reinit.Manager, plan map[mem.PlanKey]mem.Addr, reserve []*mem.Object,
-	pinnedStatics map[string]uint64) (*program.Instance, error) {
+	pinnedStatics map[string]uint64, wd *watchdog) (*program.Instance, error) {
 	defer e.opts.Recorder.Span(obs.TrackEngine, obs.PhaseRestart).End()
+	// Injected hang: RESTART parks here until the watchdog's restart
+	// budget trips (closing wd.cancel and releasing plane stalls) — the
+	// acceptance case proving a wedged RESTART is recovered solely by the
+	// deadline machinery, with cause deadline:restart.
+	if err := e.opts.Faults.Stall(faultinject.PointRestartHang, wd.cancel); err != nil {
+		return nil, err
+	}
 	newInst, err := program.NewInstance(v2, e.kern, program.Options{
 		Instr:              e.opts.Instr,
 		Profiler:           e.opts.Profiler,
@@ -613,6 +663,14 @@ func (e *Engine) restart(old *program.Instance, v2 *program.Version,
 	// no unpinned creation under startup can steal one a pinned replay
 	// (or a reinitialization handler) is about to restore.
 	reinit.ReserveIDs(old, newInst.Root())
+	// A deadline trip must be able to break a startup that genuinely
+	// hangs: WaitStartup polls instance errors, so failing the instance
+	// from the trip hook unblocks it promptly. The hook is harmless after
+	// a successful startup — any trip ends in rollback, which terminates
+	// the new instance anyway.
+	wd.onTrip(func() {
+		newInst.Fail(&DeadlineError{Phase: WDRestart, Budget: e.opts.PhaseDeadlines[WDRestart]})
+	})
 	if err := newInst.Start(); err != nil {
 		return newInst, err
 	}
@@ -651,6 +709,11 @@ func (e *Engine) restart(old *program.Instance, v2 *program.Version,
 			return newInst, errs[0]
 		}
 	}
+	// Injected late-startup crash: everything converged, then the new
+	// version dies just before sealing startup.
+	if err := e.opts.Faults.Check(faultinject.PointRestartCrash); err != nil {
+		return newInst, err
+	}
 	newInst.CompleteStartup()
 	return newInst, nil
 }
@@ -661,15 +724,20 @@ func (e *Engine) restart(old *program.Instance, v2 *program.Version,
 // when a canary is armed — open the adoptable window: the old instance
 // stays quiesced and re-adoptable, RESTART resources (the old namespace's
 // pid reservations in the new instance) are held, and finalization is
-// deferred to the window's verdict.
-func (e *Engine) commit(old, newInst *program.Instance, rep *UpdateReport) {
+// deferred to the window's verdict. An error (only the injected
+// commit-time crash today) is returned before any side effect, the last
+// moment a pre-commit rollback is still possible.
+func (e *Engine) commit(old, newInst *program.Instance, rep *UpdateReport) error {
 	sp := e.opts.Recorder.Span(obs.TrackEngine, obs.PhaseCommit)
 	defer sp.End()
+	if err := e.opts.Faults.Check(faultinject.PointCommitCrash); err != nil {
+		return err
+	}
 	e.opts.Recorder.Metrics().Counter("core.commits").Add(1)
 	rep.FDsCollected = reinit.CollectUnused(old, newInst)
 	reinit.ReservedModeOff(newInst)
 	if e.openCanary(old, newInst, rep) {
-		return
+		return nil
 	}
 	old.Terminate()
 	// Finalization releases the pid side of global separability: the old
@@ -680,10 +748,13 @@ func (e *Engine) commit(old, newInst *program.Instance, rep *UpdateReport) {
 	e.mu.Lock()
 	e.current = newInst
 	e.mu.Unlock()
+	return nil
 }
 
-// transferOptions builds the trace options both engines share.
-func (e *Engine) transferOptions(snap *checkpoint.Snapshotter) trace.Options {
+// transferOptions builds the trace options both engines share. cancel is
+// the update's watchdog-owned pipeline cancel, so a deadline trip drains
+// both engines' transfer work identically.
+func (e *Engine) transferOptions(snap *checkpoint.Snapshotter, cancel <-chan struct{}) trace.Options {
 	topts := trace.Options{
 		Policy:             e.opts.Policy,
 		TransferLibs:       e.opts.TransferLibs,
@@ -691,6 +762,8 @@ func (e *Engine) transferOptions(snap *checkpoint.Snapshotter) trace.Options {
 		Parallelism:        e.opts.Parallelism,
 		VerifyShadows:      e.opts.VerifyTransfer,
 		Recorder:           e.opts.Recorder,
+		Faults:             e.opts.Faults,
+		Cancel:             cancel,
 	}
 	if snap != nil {
 		topts.Shadows = snap.Shadows()
@@ -698,22 +771,56 @@ func (e *Engine) transferOptions(snap *checkpoint.Snapshotter) trace.Options {
 	return topts
 }
 
+// auditRollback recomputes the old instance's state digest just before
+// it resumes from a rollback and compares it against the quiesce-time
+// capture (Options.VerifyRollback).
+func (e *Engine) auditRollback(old *program.Instance, rep *UpdateReport) {
+	if !e.opts.VerifyRollback || rep.preDigest == 0 {
+		return
+	}
+	d, err := trace.StateDigest(old)
+	rep.RollbackVerified = true
+	rep.RollbackIdentical = err == nil && d == rep.preDigest
+}
+
+// captureDigest records the old instance's quiesce-time state digest for
+// the rollback audit; both engines call it right after quiescence, while
+// nothing else is reading or writing the old side.
+func (e *Engine) captureDigest(old *program.Instance, rep *UpdateReport) {
+	if !e.opts.VerifyRollback {
+		return
+	}
+	if d, err := trace.StateDigest(old); err == nil {
+		rep.preDigest = d
+	}
+}
+
 // updateSequential is the strictly-ordered engine: every phase completes
 // before the next begins. It is the downtime-ablation baseline the
 // pipelined engine is measured against. With a warm handoff, the in-call
 // pre-copy is skipped (the daemon's shadows stand in) and the warm
 // analysis is validated per process instead of recomputed wholesale.
-func (e *Engine) updateSequential(old *program.Instance, v2 *program.Version, rep *UpdateReport, warm *warmHandoff) (*UpdateReport, error) {
+func (e *Engine) updateSequential(old *program.Instance, v2 *program.Version, rep *UpdateReport, warm *warmHandoff, wd *watchdog) (*UpdateReport, error) {
 	// --- CHECKPOINT: pre-copy epochs, then quiesce ---------------------
 	var snap *checkpoint.Snapshotter
 	if warm != nil {
 		snap = warm.snap
 		rep.Precopy = snap.Stats()
 	} else {
+		wd.enter(WDPrecopy)
 		snap = e.precopy(old, rep)
+		wd.exit()
 	}
 	if snap != nil {
 		defer snap.Discard()
+		// An adopted snapshotter that failed an epoch (or had a daemon
+		// pass shot out from under it) cannot vouch for its shadows.
+		if ferr := snap.Err(); ferr != nil {
+			return rep, e.rollback(old, nil, rep, wd.wrap(fmt.Errorf("checkpoint: %w", ferr)))
+		}
+	}
+	if berr := wd.breachErr(); berr != nil {
+		return rep, e.rollback(old, nil, rep, berr)
 	}
 	if h := e.opts.BeforeQuiesce; h != nil {
 		h(old)
@@ -728,12 +835,15 @@ func (e *Engine) updateSequential(old *program.Instance, v2 *program.Version, re
 		}
 	}()
 	qsp := e.opts.Recorder.Span(obs.TrackEngine, obs.PhaseQuiesce)
+	wd.enter(WDQuiesce)
 	qd, err := old.Quiesce(e.opts.QuiesceTimeout)
+	wd.exit()
 	qsp.End()
 	if err != nil {
-		return rep, e.rollback(old, nil, rep, fmt.Errorf("quiescence: %w", err))
+		return rep, e.rollback(old, nil, rep, wd.wrap(fmt.Errorf("quiescence: %w", err)))
 	}
 	rep.QuiesceTime = qd
+	e.captureDigest(old, rep)
 
 	// Update-time analysis of the old version: immutable-object marking
 	// for the startup logs, then the conservative tracing analysis —
@@ -741,11 +851,15 @@ func (e *Engine) updateSequential(old *program.Instance, v2 *program.Version, re
 	// wholesale otherwise.
 	reinit.MarkLogs(old)
 	anStart := time.Now()
+	wd.enter(WDAnalysis)
 	var analyses map[program.ProcKey]*trace.Analysis
 	if warm != nil {
 		asp := e.opts.Recorder.Span(obs.TrackEngine, obs.PhaseValidate)
 		var reused int
 		analyses, reused, err = warm.an.Resolve(old)
+		if err == nil {
+			err = e.opts.Faults.Check(faultinject.PointSpeculation)
+		}
 		if err == nil {
 			rep.AnalysesReused = reused
 			rep.ProcsReanalyzed = len(analyses) - reused
@@ -758,8 +872,12 @@ func (e *Engine) updateSequential(old *program.Instance, v2 *program.Version, re
 		rep.ProcsReanalyzed = len(analyses)
 		asp.EndArg("procs", int64(len(analyses)))
 	}
+	if err == nil {
+		err = e.opts.Faults.Check(faultinject.PointAnalysis)
+	}
+	wd.exit()
 	if err != nil {
-		return rep, e.rollback(old, nil, rep, fmt.Errorf("analysis: %w", err))
+		return rep, e.rollback(old, nil, rep, wd.wrap(fmt.Errorf("analysis: %w", err)))
 	}
 	rep.AnalysisTime = time.Since(anStart)
 	plan, reserve, pinnedStatics := trace.CombinedPlacement(analyses)
@@ -767,9 +885,11 @@ func (e *Engine) updateSequential(old *program.Instance, v2 *program.Version, re
 	// --- RESTART: new version under mutable reinitialization -----------
 	cmStart := time.Now()
 	mgr := reinit.NewManager(old, e.opts.ReplayStrategy)
-	newInst, err := e.restart(old, v2, mgr, plan, reserve, pinnedStatics)
+	wd.enter(WDRestart)
+	newInst, err := e.restart(old, v2, mgr, plan, reserve, pinnedStatics, wd)
+	wd.exit()
 	if err != nil {
-		return rep, e.rollback(old, newInst, rep, err)
+		return rep, e.rollback(old, newInst, rep, wd.wrap(err))
 	}
 	rep.ControlMigrationTime = time.Since(cmStart)
 	rep.Replayed, rep.LiveExecuted, rep.Conflicted = mgr.ReplayStats()
@@ -778,10 +898,12 @@ func (e *Engine) updateSequential(old *program.Instance, v2 *program.Version, re
 	// are timed apart (both in-window here) so the downtime-ablation rows
 	// compare phase-for-phase with the pipelined engine, which overlaps
 	// discovery with RESTART. ----------------------------------------
+	wd.enter(WDTransfer)
 	dscStart := time.Now()
-	disc, err := trace.DiscoverInstance(old, e.transferOptions(snap))
+	disc, err := trace.DiscoverInstance(old, e.transferOptions(snap, wd.cancel))
 	if err != nil {
-		return rep, e.rollback(old, newInst, rep, err)
+		wd.exit()
+		return rep, e.rollback(old, newInst, rep, wd.wrap(err))
 	}
 	rep.DiscoveryTime = time.Since(dscStart)
 	stStart := time.Now()
@@ -789,13 +911,25 @@ func (e *Engine) updateSequential(old *program.Instance, v2 *program.Version, re
 	stats, err := disc.Complete(newInst, analyses)
 	rep.Transfer = stats
 	rsp.EndArg("objects", int64(stats.ObjectsTransferred))
+	wd.exit()
 	if err != nil {
-		return rep, e.rollback(old, newInst, rep, err)
+		return rep, e.rollback(old, newInst, rep, wd.wrap(err))
 	}
 	rep.StateTransferTime = time.Since(stStart)
 
 	// --- COMMIT ---------------------------------------------------------
-	e.commit(old, newInst, rep)
+	// A breach anywhere above that still let its phase return success
+	// fired the pipeline cancel; committing on top of it would trust
+	// half-drained state, so the breach wins over a clean-looking run.
+	if berr := wd.breachErr(); berr != nil {
+		return rep, e.rollback(old, newInst, rep, berr)
+	}
+	wd.enter(WDCommit)
+	err = e.commit(old, newInst, rep)
+	wd.exit()
+	if err != nil {
+		return rep, e.rollback(old, newInst, rep, wd.wrap(err))
+	}
 	rep.Downtime = time.Since(dtStart)
 	return rep, nil
 }
@@ -823,7 +957,7 @@ func (e *Engine) updateSequential(old *program.Instance, v2 *program.Version, re
 // the daemon already ran the pre-copy epochs and kept the analysis warm,
 // so the update initiates quiescence immediately — request-to-commit
 // latency collapses toward the quiesce-to-commit window.
-func (e *Engine) updatePipelined(old *program.Instance, v2 *program.Version, rep *UpdateReport, warm *warmHandoff) (*UpdateReport, error) {
+func (e *Engine) updatePipelined(old *program.Instance, v2 *program.Version, rep *UpdateReport, warm *warmHandoff, wd *watchdog) (*UpdateReport, error) {
 	rep.Pipelined = true
 	// --- CHECKPOINT: speculative analysis overlapped with the pre-copy
 	// epochs (skipped on the warm fast path), then quiesce -------------
@@ -843,23 +977,39 @@ func (e *Engine) updatePipelined(old *program.Instance, v2 *program.Version, rep
 	if warm != nil {
 		snap = warm.snap
 	} else {
+		wd.enter(WDPrecopy)
 		snap = e.precopy(old, rep)
+		wd.exit()
 	}
 	if !warmAn {
 		spec = trace.Speculate(old, e.opts.Policy, e.opts.TransferLibs)
 	}
 	if snap != nil {
 		defer snap.Discard()
+		// An adopted snapshotter that failed an epoch (or had a daemon
+		// pass shot out from under it) cannot vouch for its shadows.
+		if ferr := snap.Err(); ferr != nil {
+			return rep, e.rollback(old, nil, rep, wd.wrap(fmt.Errorf("checkpoint: %w", ferr)))
+		}
 	}
 	if spec != nil {
 		// Join the speculation before initiating quiescence: the old
 		// version is still serving here, so the wait is off the downtime
 		// window by construction — Resolve below must never block
 		// in-window. (The warm path has nothing to join: the daemon was
-		// stopped before the timed window even opened.)
+		// stopped before the timed window even opened.) The select lets a
+		// speculate-deadline trip abandon a wedged analysis goroutine.
 		ssp := e.opts.Recorder.Span(obs.TrackEngine, obs.PhaseSpeculate)
-		spec.Wait()
+		wd.enter(WDSpeculate)
+		select {
+		case <-spec.Done():
+		case <-wd.cancel:
+		}
+		wd.exit()
 		ssp.End()
+	}
+	if berr := wd.breachErr(); berr != nil {
+		return rep, e.rollback(old, nil, rep, berr)
 	}
 	if h := e.opts.BeforeQuiesce; h != nil {
 		h(old)
@@ -874,18 +1024,19 @@ func (e *Engine) updatePipelined(old *program.Instance, v2 *program.Version, rep
 		}
 	}()
 	qsp := e.opts.Recorder.Span(obs.TrackEngine, obs.PhaseQuiesce)
+	wd.enter(WDQuiesce)
 	qd, err := old.Quiesce(e.opts.QuiesceTimeout)
+	wd.exit()
 	qsp.End()
 	if err != nil {
-		return rep, e.rollback(old, nil, rep, fmt.Errorf("quiescence: %w", err))
+		return rep, e.rollback(old, nil, rep, wd.wrap(fmt.Errorf("quiescence: %w", err)))
 	}
 	rep.QuiesceTime = qd
+	e.captureDigest(old, rep)
 
 	// --- old-side pipeline: handoff epoch, then discovery — overlapped
 	// with analysis resolution and RESTART below ----------------------
-	cancel := make(chan struct{})
-	topts := e.transferOptions(snap)
-	topts.Cancel = cancel
+	topts := e.transferOptions(snap, wd.cancel)
 	var (
 		disc     *trace.InstanceDiscovery
 		derr     error
@@ -901,12 +1052,13 @@ func (e *Engine) updatePipelined(old *program.Instance, v2 *program.Version, rep
 		disc, derr = trace.DiscoverInstance(old, topts)
 		discTook = time.Since(t0)
 	}()
-	// abort cancels and joins the old-side pipeline, then rolls back. Only
-	// valid before the join point below (cancel must close exactly once).
+	// abort cancels and joins the old-side pipeline, then rolls back. The
+	// watchdog owns the cancel channel, so an explicit abort and a
+	// deadline trip drain the pipeline through the same close.
 	abort := func(newInst *program.Instance, cause error) error {
-		close(cancel)
+		wd.cancelPipeline()
 		<-pipeDone
-		return e.rollback(old, newInst, rep, cause)
+		return e.rollback(old, newInst, rep, wd.wrap(cause))
 	}
 
 	// Update-time analysis: immutable-object marking for the startup
@@ -919,11 +1071,21 @@ func (e *Engine) updatePipelined(old *program.Instance, v2 *program.Version, rep
 		reused   int
 	)
 	asp := e.opts.Recorder.Span(obs.TrackEngine, obs.PhaseValidate)
+	wd.enter(WDAnalysis)
 	if warmAn {
 		analyses, reused, err = warm.an.Resolve(old)
 	} else {
 		analyses, reused, err = spec.Resolve(old)
 	}
+	if err == nil {
+		// Injected speculation invalidation / analysis failure, at the
+		// exact point the off-window analysis is resolved in-window.
+		err = e.opts.Faults.Check(faultinject.PointSpeculation)
+	}
+	if err == nil {
+		err = e.opts.Faults.Check(faultinject.PointAnalysis)
+	}
+	wd.exit()
 	asp.EndArg("reused", int64(reused))
 	if err != nil {
 		return rep, abort(nil, fmt.Errorf("analysis: %w", err))
@@ -940,7 +1102,9 @@ func (e *Engine) updatePipelined(old *program.Instance, v2 *program.Version, rep
 	// with the old-side pipeline --------------------------------------
 	cmStart := time.Now()
 	mgr := reinit.NewManager(old, e.opts.ReplayStrategy)
-	newInst, err := e.restart(old, v2, mgr, plan, reserve, pinnedStatics)
+	wd.enter(WDRestart)
+	newInst, err := e.restart(old, v2, mgr, plan, reserve, pinnedStatics, wd)
+	wd.exit()
 	if err != nil {
 		return rep, abort(newInst, err)
 	}
@@ -948,12 +1112,19 @@ func (e *Engine) updatePipelined(old *program.Instance, v2 *program.Version, rep
 	rep.Replayed, rep.LiveExecuted, rep.Conflicted = mgr.ReplayStats()
 
 	// --- join the old-side pipeline; REMAP pairs immediately ----------
+	wd.enter(WDTransfer)
 	<-pipeDone
 	if snap != nil {
 		rep.Precopy = snap.Stats() // now includes the handoff epoch
+		if derr == nil {
+			// A handoff epoch that failed poisons the snapshotter rather
+			// than erroring the discovery that ran beside it.
+			derr = snap.Err()
+		}
 	}
 	if derr != nil {
-		return rep, e.rollback(old, newInst, rep, derr)
+		wd.exit()
+		return rep, e.rollback(old, newInst, rep, wd.wrap(derr))
 	}
 	rep.DiscoveryTime = discTook
 	stStart := time.Now()
@@ -961,13 +1132,24 @@ func (e *Engine) updatePipelined(old *program.Instance, v2 *program.Version, rep
 	stats, err := disc.Complete(newInst, analyses)
 	rep.Transfer = stats
 	rsp.EndArg("objects", int64(stats.ObjectsTransferred))
+	wd.exit()
 	if err != nil {
-		return rep, e.rollback(old, newInst, rep, err)
+		return rep, e.rollback(old, newInst, rep, wd.wrap(err))
 	}
 	rep.StateTransferTime = time.Since(stStart)
 
 	// --- COMMIT ---------------------------------------------------------
-	e.commit(old, newInst, rep)
+	// A breach that raced a phase's success still fired the pipeline
+	// cancel: the breach wins, the update rolls back.
+	if berr := wd.breachErr(); berr != nil {
+		return rep, e.rollback(old, newInst, rep, berr)
+	}
+	wd.enter(WDCommit)
+	err = e.commit(old, newInst, rep)
+	wd.exit()
+	if err != nil {
+		return rep, e.rollback(old, newInst, rep, wd.wrap(err))
+	}
 	rep.Downtime = time.Since(dtStart)
 	return rep, nil
 }
@@ -980,12 +1162,39 @@ func (e *Engine) rollback(old, new *program.Instance, rep *UpdateReport, cause e
 	if new != nil {
 		new.Terminate()
 	}
+	// Double fault: a second failure while reverting (the restore
+	// machinery itself erroring) must not wedge the rollback — the old
+	// instance still resumes, and both causes are reported: the primary
+	// keeps RollbackCause, the secondary lands in RollbackSecondary and
+	// on the Reason chain.
+	if err2 := e.opts.Faults.Check(faultinject.PointRollbackRestore); err2 != nil {
+		rep.RollbackSecondary = rollbackCause(err2)
+		e.opts.Recorder.Metrics().Counter("core.double_faults").Add(1)
+		cause = fmt.Errorf("%w; second fault during rollback: %v", cause, err2)
+	}
+	e.auditRollback(old, rep)
 	old.Resume()
 	sp.EndNote(cause.Error())
 	rep.RolledBack = true
-	rep.RollbackCause = "update"
+	rep.RollbackCause = rollbackCause(cause)
 	rep.Reason = cause
 	return fmt.Errorf("%w: %v", ErrUpdateFailed, cause)
+}
+
+// rollbackCause classifies a rollback's cause chain for
+// UpdateReport.RollbackCause: a watchdog breach beats an injected fault
+// (wrap puts the deadline outermost on purpose), anything else is the
+// generic pre-commit "update".
+func rollbackCause(cause error) string {
+	var de *DeadlineError
+	if errors.As(cause, &de) {
+		return "deadline:" + de.Phase
+	}
+	var fe *faultinject.Error
+	if errors.As(cause, &fe) {
+		return "fault:" + string(fe.Point)
+	}
+	return "update"
 }
 
 // Shutdown terminates the running instance, resolving any open canary

@@ -101,6 +101,10 @@ type Config struct {
 	// update instead of leaving the open connections idle, so the
 	// pre-copy epochs race a real working set.
 	LiveTraffic bool
+	// FaultCells narrows the fault-injection campaign to the named cells
+	// (empty = the full matrix); the CI smoke runs a representative
+	// subset this way.
+	FaultCells []string
 }
 
 // options merges the run configuration into engine options.

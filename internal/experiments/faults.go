@@ -1,0 +1,431 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/canary"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/kernel"
+	"repro/internal/leakcheck"
+	"repro/internal/obs"
+	"repro/internal/servers"
+	"repro/internal/workload"
+)
+
+// The guaranteed-rollback campaign: every fault kind the injection plane
+// knows, fired at every phase where it is eligible, under live sustained
+// traffic — and for every cell the same survival contract is asserted:
+// the update rolls back within its budget, the old instance resumes with
+// bit-identical state (trace.StateDigest for post-quiesce faults), every
+// consumed soft-dirty bit is handed back, the workload sees zero failed
+// and zero wrong responses across the fault and the recovery, and
+// nothing leaks — no goroutine the aborted attempt spawned, no pid
+// reservation the RESTART phase planted.
+
+// FaultCell is one campaign cell: a fault kind at an eligible phase
+// under a specific engine mode.
+type FaultCell struct {
+	Name      string
+	Server    string
+	Point     faultinject.Point // primary armed point
+	Secondary faultinject.Point // second point (the double-fault cell)
+	Phase     string            // update phase the fault lands in
+	Mode      string            // "cold", "sequential", "precopy", "warm", "canary"
+
+	ExpectCause     string // required UpdateReport.RollbackCause
+	ExpectSecondary string // required RollbackSecondary ("" = none)
+
+	// DeadlinePhase/Deadline arm a tight per-phase watchdog budget for
+	// the deadline cells; other phases keep the default profile.
+	DeadlinePhase string
+	Deadline      time.Duration
+
+	// PreQuiesce marks faults firing before the engine captures the
+	// rollback digest, so the bit-identical audit cannot apply.
+	PreQuiesce bool
+
+	// Budget bounds fault-to-recovery wall clock (Update return, or
+	// window resolution for the canary cell).
+	Budget time.Duration
+}
+
+// FaultRow is one cell's measured outcome.
+type FaultRow struct {
+	Cell   string
+	Server string
+	Point  string
+	Phase  string
+	Mode   string
+
+	Cause     string // classified RollbackCause
+	Secondary string // RollbackSecondary (double-fault cell)
+	Survived  bool   // every per-cell assertion held
+
+	RecoveryTime time.Duration // injection-armed Update start -> rollback resolved
+	Budget       time.Duration
+
+	Verified  bool // rollback digest audit ran
+	Identical bool // old state bit-identical to the quiesce capture
+
+	ConsumedPages  int // consumed soft-dirty bits left on the survivor (must be 0)
+	RequestsDuring int // responses completed while the faulty update was in flight
+	RequestsAfter  int // responses served by the recovered old instance
+	Errors         int // failed responses across the cell (must be 0)
+	BadResponses   int // wrong-content responses across the cell (must be 0)
+	Firings        int // faults the plane actually fired
+}
+
+// FaultsResult is the campaign outcome.
+type FaultsResult struct {
+	GOMAXPROCS int
+	Clients    int
+	Window     time.Duration
+	Seed       uint64
+	Rows       []FaultRow
+}
+
+// FaultKinds returns the number of distinct injection points the
+// campaign fired (the acceptance bar wants >= 8).
+func (r *FaultsResult) FaultKinds() int {
+	kinds := map[string]bool{}
+	for _, row := range r.Rows {
+		kinds[row.Point] = true
+	}
+	return len(kinds)
+}
+
+// faultCampaign is the cell matrix: pipeline order, every injection
+// point at its eligible phase(s), deadline recovery for the silent
+// hangs, and the double-fault cell at the end.
+func faultCampaign() []FaultCell {
+	const httpd = "httpd"
+	return []FaultCell{
+		{Name: "epoch-fail-precopy", Server: httpd, Point: faultinject.PointEpochFail,
+			Phase: "precopy", Mode: "precopy", ExpectCause: "fault:epoch-fail",
+			PreQuiesce: true, Budget: 15 * time.Second},
+		{Name: "epoch-fail-warm", Server: httpd, Point: faultinject.PointEpochFail,
+			Phase: "precopy", Mode: "warm", ExpectCause: "fault:epoch-fail",
+			PreQuiesce: true, Budget: 15 * time.Second},
+		{Name: "daemon-stall", Server: httpd, Point: faultinject.PointDaemonStall,
+			Phase: "precopy", Mode: "warm", ExpectCause: "fault:daemon-stall",
+			PreQuiesce: true, Budget: 15 * time.Second},
+		{Name: "speculation", Server: httpd, Point: faultinject.PointSpeculation,
+			Phase: "speculate", Mode: "cold", ExpectCause: "fault:speculation",
+			Budget: 15 * time.Second},
+		{Name: "analysis", Server: httpd, Point: faultinject.PointAnalysis,
+			Phase: "analysis", Mode: "cold", ExpectCause: "fault:analysis",
+			Budget: 15 * time.Second},
+		{Name: "analysis-sequential", Server: httpd, Point: faultinject.PointAnalysis,
+			Phase: "analysis", Mode: "sequential", ExpectCause: "fault:analysis",
+			Budget: 15 * time.Second},
+		{Name: "restart-crash", Server: httpd, Point: faultinject.PointRestartCrash,
+			Phase: "restart", Mode: "cold", ExpectCause: "fault:restart-crash",
+			Budget: 15 * time.Second},
+		{Name: "restart-hang", Server: httpd, Point: faultinject.PointRestartHang,
+			Phase: "restart", Mode: "cold", ExpectCause: "deadline:restart",
+			DeadlinePhase: core.WDRestart, Deadline: 250 * time.Millisecond,
+			Budget: 5 * time.Second},
+		{Name: "transfer-corrupt", Server: httpd, Point: faultinject.PointTransferCorrupt,
+			Phase: "transfer", Mode: "precopy", ExpectCause: "update",
+			Budget: 15 * time.Second},
+		{Name: "transfer-error", Server: httpd, Point: faultinject.PointTransferError,
+			Phase: "transfer", Mode: "cold", ExpectCause: "fault:transfer-error",
+			Budget: 15 * time.Second},
+		{Name: "transfer-stall", Server: httpd, Point: faultinject.PointTransferStall,
+			Phase: "transfer", Mode: "cold", ExpectCause: "deadline:transfer",
+			DeadlinePhase: core.WDTransfer, Deadline: 250 * time.Millisecond,
+			Budget: 5 * time.Second},
+		{Name: "remap-fail", Server: httpd, Point: faultinject.PointRemapFail,
+			Phase: "remap", Mode: "cold", ExpectCause: "fault:remap-fail",
+			Budget: 15 * time.Second},
+		{Name: "commit-crash", Server: httpd, Point: faultinject.PointCommitCrash,
+			Phase: "commit", Mode: "cold", ExpectCause: "fault:commit-crash",
+			Budget: 15 * time.Second},
+		{Name: "canary-monitor", Server: httpd, Point: faultinject.PointCanaryMonitor,
+			Phase: "canary", Mode: "canary", ExpectCause: "canary:monitor",
+			Budget: 30 * time.Second},
+		{Name: "double-fault", Server: httpd, Point: faultinject.PointRestartCrash,
+			Secondary: faultinject.PointRollbackRestore,
+			Phase:     "rollback", Mode: "cold", ExpectCause: "fault:restart-crash",
+			ExpectSecondary: "fault:rollback-restore", Budget: 15 * time.Second},
+	}
+}
+
+// faultEngine launches one server with the plane installed, rollback
+// verification on, and the cell's watchdog profile.
+func faultEngine(spec *servers.Spec, cfg Config, cell FaultCell, plane *faultinject.Plane) (*core.Engine, *workload.Sustained, error) {
+	rec := obs.New(1 << 14)
+	plane.AttachRecorder(rec)
+	opts := core.Options{
+		Parallelism:    cfg.Parallelism,
+		VerifyTransfer: true,
+		VerifyRollback: true,
+		WarmInterval:   200 * time.Microsecond,
+		QuiesceTimeout: 30 * time.Second,
+		StartupTimeout: 30 * time.Second,
+		Recorder:       rec,
+		Faults:         plane,
+	}
+	switch cell.Mode {
+	case "precopy":
+		opts.Precopy = true
+	case "sequential":
+		opts.Sequential = true
+	}
+	if cell.DeadlinePhase != "" {
+		opts.PhaseDeadlines = map[string]time.Duration{cell.DeadlinePhase: cell.Deadline}
+	}
+	if cell.Point == faultinject.PointRestartHang {
+		// The acceptance cell: only the watchdog may recover the hang, so
+		// the startup timeout is pushed far beyond the campaign's patience.
+		opts.StartupTimeout = 5 * time.Minute
+	}
+	k := kernel.New()
+	servers.SeedFiles(k)
+	e := core.NewEngine(k, opts)
+	if _, err := e.Launch(spec.Version(0)); err != nil {
+		return nil, nil, fmt.Errorf("faults: launch %s: %w", spec.Name, err)
+	}
+	drv, err := workload.StartSustained(k, workload.SustainedOptions{
+		Server: spec.Name, Port: spec.Port, Clients: cfg.Scale.overheadClients(),
+	})
+	if err != nil {
+		e.Shutdown()
+		return nil, nil, err
+	}
+	return e, drv, nil
+}
+
+// faultCell runs one campaign cell end to end and asserts its survival
+// contract; any violated clause is a hard error, not a false row.
+func faultCell(cfg Config, cell FaultCell, res *FaultsResult) (FaultRow, error) {
+	spec, err := servers.SpecByName(cell.Server)
+	if err != nil {
+		return FaultRow{}, err
+	}
+	if cell.Server == "httpd" {
+		old := servers.SetHttpdPoolThreads(4)
+		defer servers.SetHttpdPoolThreads(old)
+	}
+	plane := faultinject.New(res.Seed)
+	e, drv, err := faultEngine(spec, cfg, cell, plane)
+	if err != nil {
+		return FaultRow{}, err
+	}
+	defer e.Shutdown()
+	defer drv.Stop()
+	time.Sleep(res.Window / 4) // session-setup warmup
+
+	row := FaultRow{
+		Cell: cell.Name, Server: cell.Server, Point: string(cell.Point),
+		Phase: cell.Phase, Mode: cell.Mode, Budget: cell.Budget,
+	}
+	base := measureWindow(drv, res.Window)
+	if base.Requests == 0 {
+		return FaultRow{}, fmt.Errorf("%s: baseline served nothing (last err %v)", cell.Name, drv.LastError())
+	}
+
+	warm := cell.Mode == "warm"
+	if warm {
+		e.SetWarmPacing(200*time.Microsecond, 0.25)
+		if cell.Point == faultinject.PointEpochFail {
+			// Poison an early warm epoch; the daemon recovers currency but
+			// the snapshotter failure is sticky, so the adopting update
+			// must refuse the checkpoint.
+			plane.Arm(cell.Point)
+		}
+		if err := e.ArmWarm(); err != nil {
+			return FaultRow{}, err
+		}
+		// Under sustained traffic the daemon may never report fully
+		// current (the workload keeps dirtying pages); give it one window
+		// of catch-up like the canary harness does and proceed — the
+		// cells care about adoption semantics, not currency.
+		e.WarmWait(res.Window)
+		if cell.Point == faultinject.PointDaemonStall {
+			plane.Arm(cell.Point)
+			// Wait for a pass to actually park on the stall (the arm can
+			// land mid-pause; firing is recorded before the park).
+			for i := 0; i < 5000 && !plane.Fired(cell.Point); i++ {
+				time.Sleep(time.Millisecond)
+			}
+			if !plane.Fired(cell.Point) {
+				return FaultRow{}, fmt.Errorf("%s: no daemon pass hit the stall", cell.Name)
+			}
+		}
+		defer e.DisarmWarm()
+	}
+	isCanary := cell.Mode == "canary"
+	if isCanary {
+		slo := canary.SLO{MaxP99: 100*base.P99() + time.Second, MaxErrorRate: 0.25}
+		e.SetCanaryPacing(res.Window, res.Window/8, -1)
+		if err := e.ArmCanary(slo, workload.CanarySource(drv)); err != nil {
+			return FaultRow{}, err
+		}
+		defer e.DisarmCanary()
+	}
+	if !warm {
+		plane.Arm(cell.Point)
+	}
+	if cell.Secondary != "" {
+		plane.Arm(cell.Secondary)
+	}
+
+	g0 := leakcheck.Goroutines()
+	before := drv.Snapshot()
+	t0 := time.Now()
+	rep, uerr := e.Update(spec.Version(1))
+	if isCanary {
+		// The faulty monitor commits, then dies; the failsafe must settle
+		// the window within the cell budget.
+		if uerr != nil {
+			return FaultRow{}, fmt.Errorf("%s: update failed before the window opened: %v", cell.Name, uerr)
+		}
+		if !e.CanaryWait(cell.Budget) {
+			return FaultRow{}, fmt.Errorf("%s: canary window never resolved", cell.Name)
+		}
+	} else if !errors.Is(uerr, core.ErrUpdateFailed) {
+		return FaultRow{}, fmt.Errorf("%s: update err = %v, want rollback", cell.Name, uerr)
+	}
+	row.RecoveryTime = time.Since(t0)
+	row.RequestsDuring = drv.Snapshot().Delta(before).Requests
+
+	if !rep.RolledBack {
+		return FaultRow{}, fmt.Errorf("%s: update did not roll back", cell.Name)
+	}
+	row.Cause = rep.RollbackCause
+	row.Secondary = rep.RollbackSecondary
+	if row.Cause != cell.ExpectCause {
+		return FaultRow{}, fmt.Errorf("%s: RollbackCause %q, want %q (reason %v)",
+			cell.Name, row.Cause, cell.ExpectCause, rep.Reason)
+	}
+	if row.Secondary != cell.ExpectSecondary {
+		return FaultRow{}, fmt.Errorf("%s: RollbackSecondary %q, want %q",
+			cell.Name, row.Secondary, cell.ExpectSecondary)
+	}
+	if !plane.Fired(cell.Point) {
+		return FaultRow{}, fmt.Errorf("%s: armed point never fired", cell.Name)
+	}
+	row.Firings = len(plane.Firings())
+	if row.RecoveryTime > cell.Budget {
+		return FaultRow{}, fmt.Errorf("%s: recovery took %v, budget %v", cell.Name, row.RecoveryTime, cell.Budget)
+	}
+	row.Verified = rep.RollbackVerified
+	row.Identical = rep.RollbackIdentical
+	if !cell.PreQuiesce && (!row.Verified || !row.Identical) {
+		return FaultRow{}, fmt.Errorf("%s: rollback digest audit verified=%v identical=%v",
+			cell.Name, row.Verified, row.Identical)
+	}
+
+	// The recovered old instance keeps serving the same sessions.
+	win := measureWindow(drv, res.Window)
+	if win.Requests == 0 {
+		return FaultRow{}, fmt.Errorf("%s: old instance served nothing after rollback (last err %v)",
+			cell.Name, drv.LastError())
+	}
+	row.RequestsAfter = win.Requests
+	row.Errors = base.Errors + win.Errors
+	row.BadResponses = base.BadResponses + win.BadResponses
+	if row.Errors > 0 || row.BadResponses > 0 {
+		return FaultRow{}, fmt.Errorf("%s: %d failed / %d wrong responses through the fault",
+			cell.Name, row.Errors, row.BadResponses)
+	}
+
+	// Hygiene: consumed bits restored, nothing leaked. The warm daemon is
+	// stopped first — armed, it legitimately holds consumed bits.
+	if warm {
+		e.DisarmWarm()
+	}
+	if isCanary {
+		e.DisarmCanary()
+	}
+	cur := e.Current()
+	for _, p := range cur.Procs() {
+		row.ConsumedPages += p.Space().ConsumedCount()
+	}
+	if row.ConsumedPages != 0 {
+		return FaultRow{}, fmt.Errorf("%s: %d consumed soft-dirty pages not restored", cell.Name, row.ConsumedPages)
+	}
+	if err := leakcheck.CheckGoroutines(g0, 5*time.Second); err != nil {
+		return FaultRow{}, fmt.Errorf("%s: %w", cell.Name, err)
+	}
+	if err := leakcheck.CheckReservedPids(cur); err != nil {
+		return FaultRow{}, fmt.Errorf("%s: %w", cell.Name, err)
+	}
+	row.Survived = true
+	return row, nil
+}
+
+// RunFaults executes the fault-injection campaign: every cell on a fresh
+// engine and sustained driver, Config.FaultCells optionally narrowing
+// the matrix (the CI smoke runs a representative subset).
+func RunFaults(cfg Config) (*FaultsResult, error) {
+	res := &FaultsResult{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Clients:    cfg.Scale.overheadClients(),
+		Window:     cfg.Scale.overheadWindow(),
+		Seed:       1,
+	}
+	cells := faultCampaign()
+	if len(cfg.FaultCells) > 0 {
+		want := map[string]bool{}
+		for _, n := range cfg.FaultCells {
+			want[n] = true
+		}
+		kept := cells[:0]
+		for _, c := range cells {
+			if want[c.Name] {
+				kept = append(kept, c)
+			}
+		}
+		cells = kept
+	}
+	for _, cell := range cells {
+		row, err := faultCell(cfg, cell, res)
+		if err != nil {
+			return nil, fmt.Errorf("faults: %w", err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the campaign matrix and the survival verdict.
+func (r *FaultsResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Update-time fault-injection campaign: guaranteed rollback under live traffic (%d clients, %s windows, seed %d, GOMAXPROCS=%d)\n",
+		r.Clients, r.Window, r.Seed, r.GOMAXPROCS)
+	fmt.Fprintf(&b, "%-19s %-10s %-9s %-17s %-22s %9s %7s %5s %5s %9s %5s %4s %-8s\n",
+		"cell", "mode", "phase", "point", "cause", "recover", "budget", "ident", "pages", "req-after", "errs", "bad", "verdict")
+	survived := 0
+	for _, row := range r.Rows {
+		cause := row.Cause
+		if row.Secondary != "" {
+			cause += "+" + row.Secondary
+		}
+		verdict := "SURVIVED"
+		if !row.Survived {
+			verdict = "FAILED"
+		} else {
+			survived++
+		}
+		ident := "n/a"
+		if row.Verified {
+			ident = fmt.Sprintf("%v", row.Identical)
+		}
+		fmt.Fprintf(&b, "%-19s %-10s %-9s %-17s %-22s %9s %7s %5s %5d %9d %5d %4d %-8s\n",
+			row.Cell, row.Mode, row.Phase, row.Point, cause,
+			row.RecoveryTime.Round(time.Millisecond), row.Budget, ident,
+			row.ConsumedPages, row.RequestsAfter, row.Errors, row.BadResponses, verdict)
+	}
+	fmt.Fprintf(&b, "%d/%d cells survived, %d distinct fault kinds (acceptance >= 8)\n",
+		survived, len(r.Rows), r.FaultKinds())
+	b.WriteString("contract per cell: rollback within budget, old state bit-identical, consumed soft-dirty bits restored,\n")
+	b.WriteString("zero failed/wrong responses, no leaked goroutines, no leaked pid reservations\n")
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultCampaignSmoke runs a representative subset of the campaign —
+// a loud fault, both deadline recoveries, the post-commit monitor death
+// and the double fault — asserting every cell survives with its
+// classified cause. CI runs this under -race on both GOMAXPROCS legs;
+// `mcr-bench -faults` runs the full matrix.
+func TestFaultCampaignSmoke(t *testing.T) {
+	cells := []string{"restart-crash", "restart-hang", "transfer-stall", "canary-monitor", "double-fault"}
+	res, err := RunFaults(Config{FaultCells: cells})
+	if err != nil {
+		t.Fatalf("RunFaults: %v", err)
+	}
+	if len(res.Rows) != len(cells) {
+		t.Fatalf("ran %d cells, want %d", len(res.Rows), len(cells))
+	}
+	deadline, fault := 0, 0
+	for _, row := range res.Rows {
+		if !row.Survived {
+			t.Errorf("cell %s did not survive", row.Cell)
+		}
+		if row.Errors > 0 || row.BadResponses > 0 {
+			t.Errorf("cell %s: %d failed / %d wrong responses", row.Cell, row.Errors, row.BadResponses)
+		}
+		switch {
+		case strings.HasPrefix(row.Cause, "deadline:"):
+			deadline++
+		case strings.HasPrefix(row.Cause, "fault:"):
+			fault++
+		}
+	}
+	if deadline == 0 || fault == 0 {
+		t.Fatalf("smoke needs both cause families: %d deadline, %d fault", deadline, fault)
+	}
+	for _, row := range res.Rows {
+		if row.Cell == "double-fault" && row.Secondary != "fault:rollback-restore" {
+			t.Fatalf("double-fault secondary = %q", row.Secondary)
+		}
+		if row.Cell == "restart-hang" && row.Cause != "deadline:restart" {
+			t.Fatalf("restart-hang cause = %q", row.Cause)
+		}
+	}
+	t.Log("\n" + res.Render())
+}

@@ -72,6 +72,9 @@ const (
 	PhaseCanaryRevert   = "canary-revert"
 
 	PhaseInterval = "interval" // workload stats bucket (complete event)
+
+	PhaseFault    = "fault"    // instant: an armed injection point fired (note = point)
+	PhaseDeadline = "deadline" // instant: the watchdog breached a phase budget (note = deadline:<phase>)
 )
 
 // Kind is the event kind, matching Chrome trace-event phase letters.

@@ -66,6 +66,11 @@ func Speculate(inst *program.Instance, pol types.Policy, libs map[string]bool) *
 // so no goroutine outlives the update attempt).
 func (s *Speculation) Wait() { <-s.done }
 
+// Done returns a channel closed when the background analysis finishes —
+// the engine selects on it so a deadline trip can abandon a wedged
+// speculation instead of joining it unconditionally.
+func (s *Speculation) Done() <-chan struct{} { return s.done }
+
 // Resolve waits for the speculative pass, validates each process's entry
 // against the current delta counters, and re-analyzes every process whose
 // entry is missing, errored or stale. The instance must be quiesced. It

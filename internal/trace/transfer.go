@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/program"
@@ -146,6 +147,13 @@ type Options struct {
 	// old-side walk renders as overlapping lanes) and, under
 	// VerifyShadows, the aggregate checksum instant.
 	Recorder *obs.Recorder
+	// Faults consults the fault-injection plane inside the copy path
+	// (transfer error / stall / shadow corruption) and at the REMAP
+	// pairing step. nil — the production configuration — never fires.
+	// Stalls park until Cancel closes or the plane releases them, so the
+	// watchdog's pipeline cancel drains an injected hang the same way it
+	// drains a real one.
+	Faults *faultinject.Plane
 }
 
 // ShadowReader is one process's view of a pre-copy checkpoint
@@ -700,6 +708,14 @@ func (pt *procTransfer) transferOne(o *mem.Object, st *Stats, scratch *[]byte) e
 		st.ObjectsSkippedClean++
 		return nil
 	}
+	// Injected copy faults: a worker failing loudly mid-object, or parking
+	// until the pipeline cancel / watchdog releases it.
+	if err := pt.opts.Faults.Check(faultinject.PointTransferError); err != nil {
+		return err
+	}
+	if err := pt.opts.Faults.Stall(faultinject.PointTransferStall, pt.opts.Cancel); err != nil {
+		return err
+	}
 	if h, ok := pt.ann.ObjHandler(o.Name); ok {
 		st.HandlerInvocations++
 		if pt.opts.VerifyShadows {
@@ -752,6 +768,11 @@ func (pt *procTransfer) transferObject(e *pairEntry, scratch *[]byte, st *Stats)
 		buf := (*scratch)[:size]
 		var shadowSrc []byte
 		if sb, ok := pt.shadowFor(o); ok {
+			// Injected silent corruption: one byte of the shadow itself
+			// flips, so the staged copy and the shadow agree with each
+			// other — only the VerifyShadows cross-check against quiesced
+			// live memory can catch the divergence.
+			pt.opts.Faults.Corrupt(faultinject.PointTransferCorrupt, sb[:size])
 			copy(buf, sb[:size])
 			st.BytesFromShadow += size
 			shadowSrc = sb
@@ -775,6 +796,9 @@ func (pt *procTransfer) transferObject(e *pairEntry, scratch *[]byte, st *Stats)
 	// are identical either way (shadow currency implies no write since
 	// capture).
 	shadow, fromShadow := pt.shadowFor(o)
+	if fromShadow {
+		pt.opts.Faults.Corrupt(faultinject.PointTransferCorrupt, shadow[:o.Size])
+	}
 	if pt.opts.VerifyShadows {
 		if err := pt.verifySource(o, o.Size, shadow, st); err != nil {
 			return err
@@ -977,6 +1001,7 @@ func resolveParallelism(opts Options, procs int) Options {
 type InstanceDiscovery struct {
 	procs []*program.Proc // old processes, in Procs() order
 	discs []*ProcDiscovery
+	opts  Options
 }
 
 // DiscoverInstance runs the old-side discovery of every process in
@@ -1007,7 +1032,7 @@ func DiscoverInstance(oldInst *program.Instance, opts Options) (*InstanceDiscove
 			return nil, err
 		}
 	}
-	return &InstanceDiscovery{procs: oldProcs, discs: discs}, nil
+	return &InstanceDiscovery{procs: oldProcs, discs: discs, opts: opts}, nil
 }
 
 // Complete pairs and copies every discovered process into its new-version
@@ -1016,6 +1041,11 @@ func DiscoverInstance(oldInst *program.Instance, opts Options) (*InstanceDiscove
 // missing counterpart must not leave already-started transfers mutating
 // the new instance behind the caller's back while it rolls back.
 func (id *InstanceDiscovery) Complete(newInst *program.Instance, analyses map[program.ProcKey]*Analysis) (Stats, error) {
+	// Injected REMAP failure: pairing dies before any transfer starts —
+	// the same all-or-nothing point a missing counterpart aborts at.
+	if err := id.opts.Faults.Check(faultinject.PointRemapFail); err != nil {
+		return Stats{}, err
+	}
 	newProcs := make([]*program.Proc, len(id.procs))
 	procAnalyses := make([]*Analysis, len(id.procs))
 	for i, op := range id.procs {
