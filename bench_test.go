@@ -726,3 +726,26 @@ func BenchmarkFaults(b *testing.B) {
 		b.ReportMetric(float64(res.FaultKinds()), "fault-kinds")
 	})
 }
+
+// BenchmarkRollout reports the fleet-rollout campaign: a healthy
+// canary-gated rolling update across a 3-member fleet (aggregate
+// throughput sustained through every wave) and two fault-injected
+// rollouts that abort with the failing member's cause bubbled up
+// verbatim, zero failed responses everywhere.
+func BenchmarkRollout(b *testing.B) {
+	res, err := experiments.RunRollout(experiments.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		b.Run(row.Scenario, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// The campaign ran once above; report its rows per run.
+			}
+			b.ReportMetric(row.AggregateRPS, "aggregate-rps")
+			b.ReportMetric(row.MinWaveRPS, "min-wave-rps")
+			b.ReportMetric(float64(row.Waves), "waves-started")
+			b.ReportMetric(float64(row.Errors+row.BadResponses), "failed-responses")
+		})
+	}
+}

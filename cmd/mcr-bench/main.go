@@ -31,6 +31,7 @@ func main() {
 		overhead    = flag.Bool("overhead", false, "live-traffic overhead: warm-daemon duty-cycle cost curve under the real servers, plus mid-traffic warm updates with shadow-verified transfer")
 		canaryExp   = flag.Bool("canary", false, "post-commit canary window: SLO-gated auto-rollback under live traffic, including a forced serving regression")
 		faults      = flag.Bool("faults", false, "fault-injection campaign: every fault kind at every eligible update phase under live traffic, each cell asserting guaranteed rollback")
+		rollout     = flag.Bool("rollout", false, "fleet rollout campaign: plan/apply rolling updates across an N-member fleet, healthy and fault-aborted, with wave deadline budgets and fleet canary gating")
 		all         = flag.Bool("all", false, "run every experiment")
 		full        = flag.Bool("full", false, "paper-scale parameters (slow)")
 		reps        = flag.Int("reps", 3, "repetitions for Table 3 (best-of)")
@@ -54,6 +55,7 @@ func main() {
 		Overhead:    *overhead,
 		Canary:      *canaryExp,
 		Faults:      *faults,
+		Rollout:     *rollout,
 		All:         *all,
 		Full:        *full,
 		Reps:        *reps,

@@ -26,6 +26,7 @@ type config struct {
 	Overhead    bool
 	Canary      bool
 	Faults      bool
+	Rollout     bool
 	All         bool
 	Full        bool
 	Reps        int
@@ -150,6 +151,14 @@ func run(cfg config, out io.Writer) error {
 		res, err := experiments.RunFaults(ecfg)
 		if err != nil {
 			return fmt.Errorf("faults: %w", err)
+		}
+		fmt.Fprintln(out, res.Render())
+	}
+	if cfg.All || cfg.Rollout {
+		ran = true
+		res, err := experiments.RunRollout(ecfg)
+		if err != nil {
+			return fmt.Errorf("rollout: %w", err)
 		}
 		fmt.Fprintln(out, res.Render())
 	}

@@ -55,6 +55,32 @@ func parseDeadlines(s string) (map[string]time.Duration, error) {
 	return out, nil
 }
 
+// parseFaults builds a fault-injection plane from the -fault flag: a
+// comma-separated list of injection points (two points drive the
+// double-fault scenario — e.g. restart-crash,rollback-restore). Returns
+// a nil plane for an empty spec.
+func parseFaults(spec string) (*faultinject.Plane, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	plane := faultinject.New(1)
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		known := false
+		for _, pt := range faultinject.Catalog() {
+			if string(pt) == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("%w: -fault: unknown injection point %q (see faultinject.Catalog)", errUsage, name)
+		}
+		plane.Arm(faultinject.Point(name))
+	}
+	return plane, nil
+}
+
 // config is the parsed command line.
 type config struct {
 	Server      string
@@ -66,14 +92,27 @@ type config struct {
 	Warm        bool   // arm the warm-standby readiness daemon
 	Canary      string // SLO spec; non-empty arms the post-commit canary window
 	TraceOut    string // write a Chrome-trace-event JSON file of the whole run
-	Fault       string // arm this fault-injection point for the first update
+	Fault       string // fault-injection point(s), comma-separated
 	Deadlines   string // per-phase watchdog budgets, phase=dur[,phase=dur...]
+
+	// Fleet mode (see fleet.go): -cluster N runs a rolling update across
+	// an N-member fleet instead of the single-instance scenario.
+	Cluster     int           // fleet size (0 = single-instance mode)
+	WaveSize    int           // members per rollout wave
+	WaveBudget  time.Duration // total deadline budget per wave
+	AbortPolicy string        // keep | revert
+	PlanOut     string        // write the rollout plan JSON here and exit
+	Apply       string        // execute a previously written plan file
+	FaultMember int           // fleet member carrying the -fault plane
 }
 
 // run executes the whole scenario — launch, stage, update, verify the
 // client session — writing progress to out. Factored out of main so tests
 // can drive it end to end.
 func run(cfg config, out io.Writer) error {
+	if cfg.Cluster > 0 || cfg.Apply != "" {
+		return runFleet(cfg, out)
+	}
 	if cfg.Parallelism < 0 {
 		return fmt.Errorf("%w: -parallelism must be >= 0, got %d", errUsage, cfg.Parallelism)
 	}
@@ -97,20 +136,9 @@ func run(cfg config, out io.Writer) error {
 			return fmt.Errorf("%w: -deadline: %v", errUsage, err)
 		}
 	}
-	var plane *faultinject.Plane
-	if cfg.Fault != "" {
-		known := false
-		for _, pt := range faultinject.Catalog() {
-			if string(pt) == cfg.Fault {
-				known = true
-				break
-			}
-		}
-		if !known {
-			return fmt.Errorf("%w: -fault: unknown injection point %q (see faultinject.Catalog)", errUsage, cfg.Fault)
-		}
-		plane = faultinject.New(1)
-		plane.Arm(faultinject.Point(cfg.Fault))
+	plane, err := parseFaults(cfg.Fault)
+	if err != nil {
+		return err
 	}
 	spec, err := servers.SpecByName(cfg.Server)
 	if err != nil {
@@ -275,11 +303,14 @@ func run(cfg config, out io.Writer) error {
 				// The stable machine-readable line: scripts key on this
 				// (and on exit status 3) to tell a classified rollback —
 				// deadline:<phase>, fault:<point>, canary:<metric> or
-				// update — from a tool failure.
-				fmt.Fprintf(out, "rollback cause: %s\n", rep.RollbackCause)
+				// update — from a tool failure. A double fault (a second
+				// fault firing while the rollback itself reverted) rides on
+				// the same line so operators see both causes at once.
+				cause := rep.RollbackCause
 				if rep.RollbackSecondary != "" {
-					fmt.Fprintf(out, "rollback secondary: %s\n", rep.RollbackSecondary)
+					cause += fmt.Sprintf(" (secondary: %s)", rep.RollbackSecondary)
 				}
+				fmt.Fprintf(out, "rollback cause: %s\n", cause)
 				rolledBack = rep.RollbackCause
 			}
 			if cfg.Precopy {

@@ -1,11 +1,14 @@
-// The ftpcluster example exercises the hardest live-update case in the
-// paper: a multiprocess server (vsftpd model, one handler process per
-// session) with in-flight state. Three authenticated FTP sessions — one
-// of them mid-way through a large passive-mode transfer — survive a live
-// update: the handler processes are re-forked with the same pids, their
-// threads restored at their volatile quiescent points by the
-// reinitialization handler, and the transfer resumes from the transferred
-// byte offset without loss or duplication.
+// The ftpcluster example runs the paper's hardest live-update case at
+// fleet scale: a three-member vsftpd fleet (multiprocess, one handler
+// process per session) rolled to a new release by the plan/apply
+// orchestrator in internal/cluster — waves of members drained, updated,
+// canary-judged and re-added while sustained FTP traffic keeps flowing
+// fleet-wide. On top of the rollout, one authenticated session on member
+// 0 is mid-way through a large passive-mode transfer when its member's
+// wave lands: the handler processes are re-forked with the same pids,
+// their threads restored at their volatile quiescent points, and the
+// transfer resumes from the transferred byte offset without loss or
+// duplication.
 //
 // Run with: go run ./examples/ftpcluster
 package main
@@ -13,44 +16,34 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
-	mcr "repro"
-	"repro/internal/servers"
+	"repro/internal/cluster"
 	"repro/internal/workload"
 )
 
 func main() {
-	spec := servers.VsftpdSpec()
-	k := mcr.NewKernel()
-	servers.SeedFiles(k)
-	engine := mcr.NewEngine(k, mcr.Options{})
-	if _, err := engine.Launch(spec.Version(0)); err != nil {
-		log.Fatal(err)
-	}
-	defer engine.Shutdown()
-	fmt.Printf("launched %s on port %d\n", spec.Version(0), spec.Port)
-
-	// Two idle authenticated sessions.
-	alice, err := workload.OpenFTP(k, spec.Port, "alice")
+	fleet, err := cluster.New(cluster.Options{Server: "vsftpd", Members: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer alice.Close()
-	bob, err := workload.OpenFTP(k, spec.Port, "bob")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer bob.Close()
+	defer fleet.Shutdown()
+	spec := fleet.Spec()
+	fmt.Printf("launched %s fleet of 3 on port %d, sustained FTP traffic on every member\n\n",
+		spec.Name, spec.Port)
 
-	// Carol downloads a 1 MiB file in acknowledged chunks.
-	carol, err := workload.OpenFTP(k, spec.Port, "carol")
+	// Carol logs into member 0 and starts a 1 MiB passive-mode download,
+	// pulling a few acknowledged chunks and then holding the next ACK —
+	// in-flight state her member's update wave must carry across.
+	m0 := fleet.Member(0)
+	carol, err := workload.OpenFTP(m0.Kernel(), spec.Port, "carol")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer carol.Close()
-	if err := workload.EnterPassive(k, carol); err != nil {
+	if err := workload.EnterPassive(m0.Kernel(), carol); err != nil {
 		log.Fatal(err)
 	}
 	cc, dc := carol.Conns[0], carol.Conns[1]
@@ -61,7 +54,7 @@ func main() {
 		log.Fatal(err)
 	}
 	got := 0
-	for i := 0; i < 4; i++ { // pull a few chunks pre-update
+	for i := 0; i < 4; i++ {
 		chunk, err := dc.Recv(2 * time.Second)
 		if err != nil {
 			log.Fatal(err)
@@ -73,27 +66,41 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("carol mid-transfer: %d bytes received, holding the next ACK\n", got)
-	fmt.Printf("server processes before update: %d\n\n", len(engine.Current().Procs()))
+	fmt.Printf("carol mid-transfer on member 0: %d bytes received, holding the next ACK\n\n", got)
 
-	rep, err := engine.Update(spec.Version(1))
+	// Plan the rollout: two waves ([0 1] then [2]), a 10s deadline budget
+	// per wave split across its members, every member canary-judged after
+	// commit, and a breach reverting its whole wave.
+	plan, err := cluster.PlanRollout(spec.Name, 3, 0, cluster.PlanOptions{
+		Target:      1,
+		WaveSize:    2,
+		WaveBudget:  10 * time.Second,
+		Canary:      "err=0.9",
+		CanaryHold:  50 * time.Millisecond,
+		AbortPolicy: cluster.AbortRevert,
+	})
 	if err != nil {
-		log.Fatalf("update: %v", err)
+		log.Fatal(err)
 	}
-	fmt.Printf("live update to %s in %v: %d ops replayed, %d objects transferred across %d processes\n\n",
-		spec.Version(1).Release, rep.TotalTime.Round(10*time.Microsecond),
-		rep.Replayed, rep.Transfer.ObjectsTransferred, len(engine.Current().Procs()))
+	fmt.Print(plan.Render())
+	fmt.Println()
 
-	// The idle sessions answer with their counters intact.
-	for name, s := range map[string]*workload.Session{"alice": alice, "bob": bob} {
-		resp, err := workload.FTPCommand(s, "STAT")
-		if err != nil {
-			log.Fatalf("%s died: %v", name, err)
-		}
-		fmt.Printf("%s: %s\n", name, resp)
+	rep, err := cluster.Apply(fleet, plan, cluster.ApplyOptions{Progress: os.Stdout})
+	if err != nil {
+		log.Fatal(err)
 	}
+	if rep.Aborted {
+		log.Fatalf("rollout aborted: %s", rep.AbortCause)
+	}
+	fmt.Println()
+	for _, m := range fleet.Members() {
+		fmt.Printf("member %d serving %s\n", m.Index, spec.Version(m.Version()).Release)
+	}
+	fmt.Printf("fleet traffic through the rollout: %d requests, %d errors, %d wrong responses\n\n",
+		rep.Totals.Requests, rep.Totals.Errors, rep.Totals.BadResponses)
 
-	// Carol's transfer resumes exactly where it stopped.
+	// Carol's transfer resumes exactly where it stopped — her member was
+	// drained, updated, canary-judged and re-added underneath her.
 	if err := dc.Send([]byte("ACK")); err != nil {
 		log.Fatal(err)
 	}
@@ -110,5 +117,5 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("\ncarol finished: %d bytes (expected %d) — no loss, no duplication\n", got, 1<<20)
+	fmt.Printf("carol finished: %d bytes (expected %d) — no loss, no duplication across her member's wave\n", got, 1<<20)
 }

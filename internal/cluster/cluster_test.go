@@ -1,0 +1,306 @@
+package cluster
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/leakcheck"
+)
+
+// launch starts a fleet and registers its shutdown.
+func launch(t *testing.T, opts Options) *Cluster {
+	t.Helper()
+	c, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(c.Shutdown)
+	return c
+}
+
+func TestPlanShape(t *testing.T) {
+	p, err := PlanRollout("httpd", 5, 0, PlanOptions{
+		Target: 1, WaveSize: 2, WaveBudget: time.Second,
+		Canary: "err=0.5", CanaryHold: 50 * time.Millisecond, AbortPolicy: AbortRevert,
+	})
+	if err != nil {
+		t.Fatalf("PlanRollout: %v", err)
+	}
+	if got := len(p.Waves); got != 3 {
+		t.Fatalf("waves = %d, want 3", got)
+	}
+	// 5 members in waves of 2: [0 1] [2 3] [4]; the full-wave members
+	// split the budget, the singleton keeps all of it.
+	if b := p.Actions[0].Budget; b != 500*time.Millisecond {
+		t.Errorf("wave-0 member budget = %v, want 500ms", b)
+	}
+	if b := p.Actions[4].Budget; b != time.Second {
+		t.Errorf("singleton wave budget = %v, want 1s", b)
+	}
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	q, err := DecodePlan(&buf)
+	if err != nil {
+		t.Fatalf("DecodePlan: %v", err)
+	}
+	if q.Target != p.Target || len(q.Actions) != len(p.Actions) || q.AbortPolicy != AbortRevert {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", q, p)
+	}
+	if !strings.Contains(p.Render(), "wave 2  member 4") {
+		t.Errorf("Render missing action line:\n%s", p.Render())
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	if _, err := PlanRollout("httpd", 3, 0, PlanOptions{Target: 99}); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	if _, err := PlanRollout("httpd", 3, 1, PlanOptions{Target: 1}); err == nil {
+		t.Error("no-op target accepted")
+	}
+	if _, err := PlanRollout("httpd", 3, 0, PlanOptions{Target: 1, AbortPolicy: "explode"}); err == nil {
+		t.Error("unknown abort policy accepted")
+	}
+	// Revert policy without a canary has no mechanism to revert with.
+	if _, err := PlanRollout("httpd", 3, 0, PlanOptions{Target: 1, AbortPolicy: AbortRevert}); err == nil {
+		t.Error("revert policy without canary accepted")
+	}
+	p, err := PlanRollout("httpd", 3, 0, PlanOptions{Target: 1})
+	if err != nil {
+		t.Fatalf("PlanRollout: %v", err)
+	}
+	p.Waves = [][]int{{0, 2}, {1}} // out of order
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-order waves accepted")
+	}
+}
+
+func TestBudgetDeadlines(t *testing.T) {
+	d := budgetDeadlines(100 * time.Millisecond)
+	for phase, v := range d {
+		if v != 100*time.Millisecond {
+			t.Errorf("phase %s budget = %v, want 100ms cap", phase, v)
+		}
+	}
+	// A huge budget keeps the tighter defaults.
+	d = budgetDeadlines(time.Hour)
+	if d["commit"] != 15*time.Second {
+		t.Errorf("commit budget = %v, want default 15s", d["commit"])
+	}
+}
+
+// TestRolloutHealthy rolls a 3-member fleet through a canary-gated
+// 2-wave rollout: every member ends on the target version, every wave
+// sustains aggregate throughput, and no response fails fleet-wide.
+func TestRolloutHealthy(t *testing.T) {
+	c := launch(t, Options{Server: "httpd", Members: 3})
+	p, err := PlanRollout("httpd", 3, 0, PlanOptions{
+		Target: 1, WaveSize: 2, WaveBudget: 10 * time.Second,
+		Canary: "err=0.9", CanaryHold: 40 * time.Millisecond, AbortPolicy: AbortRevert,
+	})
+	if err != nil {
+		t.Fatalf("PlanRollout: %v", err)
+	}
+	rep, err := Apply(c, p, ApplyOptions{})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if rep.Aborted {
+		t.Fatalf("healthy rollout aborted: %s\n%s", rep.AbortCause, strings.Join(rep.Events, "\n"))
+	}
+	for _, m := range rep.Members {
+		if m.Outcome != OutcomeUpdated {
+			t.Errorf("member %d outcome %q, want %q (cause %s)", m.Member, m.Outcome, OutcomeUpdated, m.Cause)
+		}
+	}
+	for i, m := range c.Members() {
+		if v := m.Version(); v != 1 {
+			t.Errorf("member %d on v%d, want v1", i, v)
+		}
+	}
+	if len(rep.Waves) != 2 {
+		t.Fatalf("waves reported = %d, want 2", len(rep.Waves))
+	}
+	for _, w := range rep.Waves {
+		if !w.Committed {
+			t.Errorf("wave %d not committed", w.Wave)
+		}
+		if w.AggregateRPS <= 0 {
+			t.Errorf("wave %d aggregate RPS = %v, want > 0", w.Wave, w.AggregateRPS)
+		}
+	}
+	tot := rep.Totals
+	if tot.Requests == 0 || tot.Errors != 0 || tot.BadResponses != 0 {
+		t.Errorf("fleet totals %+v, want requests > 0 and zero failures", tot)
+	}
+}
+
+// TestRolloutAbortBeforeNextWaveArms is the abort-ordering satellite: a
+// member failure mid-wave aborts the rollout before the next wave's warm
+// daemons arm, and the failing member's fault cause bubbles up verbatim.
+func TestRolloutAbortBeforeNextWaveArms(t *testing.T) {
+	plane := faultinject.New(1)
+	plane.Arm(faultinject.PointRestartCrash)
+	c := launch(t, Options{Server: "httpd", Members: 4, Faults: plane, FaultMember: 1})
+	p, err := PlanRollout("httpd", 4, 0, PlanOptions{Target: 1, WaveSize: 2, WaveBudget: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("PlanRollout: %v", err)
+	}
+	rep, err := Apply(c, p, ApplyOptions{})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !rep.Aborted || rep.AbortMember != 1 || rep.AbortWave != 0 {
+		t.Fatalf("abort = %v member %d wave %d, want member 1 wave 0", rep.Aborted, rep.AbortMember, rep.AbortWave)
+	}
+	if rep.AbortCause != "fault:restart-crash" {
+		t.Fatalf("abort cause %q, want the member's fault cause verbatim", rep.AbortCause)
+	}
+	// The abort must land before wave 1 ever arms: no wave-1 arm event at
+	// all, and the abort event present.
+	if i := rep.EventIndex("wave 1 armed"); i != -1 {
+		t.Errorf("wave 1 armed (event %d) despite mid-wave-0 abort:\n%s", i, strings.Join(rep.Events, "\n"))
+	}
+	if rep.EventIndex("rollout aborted") == -1 {
+		t.Errorf("no abort event recorded:\n%s", strings.Join(rep.Events, "\n"))
+	}
+	fail := rep.Members[1]
+	if fail.Outcome != OutcomeRolledBack || !fail.RollbackVerified || !fail.RollbackIdentical {
+		t.Errorf("failed member report %+v, want rolled-back with verified identical state", fail)
+	}
+	// Member 0 committed before the abort; policy keep leaves it updated.
+	if rep.Members[0].Outcome != OutcomeUpdated {
+		t.Errorf("member 0 outcome %q, want %q", rep.Members[0].Outcome, OutcomeUpdated)
+	}
+	for _, i := range []int{2, 3} {
+		if rep.Members[i].Outcome != OutcomeSkipped {
+			t.Errorf("member %d outcome %q, want %q", i, rep.Members[i].Outcome, OutcomeSkipped)
+		}
+		if v := c.Member(i).Version(); v != 0 {
+			t.Errorf("member %d on v%d, want untouched v0", i, v)
+		}
+	}
+	if tot := rep.Totals; tot.Errors != 0 || tot.BadResponses != 0 {
+		t.Errorf("fleet failures during aborted rollout: %+v", tot)
+	}
+}
+
+// TestRolloutDeadlineCauseBubbles wedges one member's restart under a
+// tight wave budget: the watchdog's `deadline:restart` cause must bubble
+// up unmodified as the rollout abort reason.
+func TestRolloutDeadlineCauseBubbles(t *testing.T) {
+	plane := faultinject.New(1)
+	plane.Arm(faultinject.PointRestartHang)
+	c := launch(t, Options{Server: "httpd", Members: 3, Faults: plane, FaultMember: 1})
+	p, err := PlanRollout("httpd", 3, 0, PlanOptions{Target: 1, WaveSize: 1, WaveBudget: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("PlanRollout: %v", err)
+	}
+	rep, err := Apply(c, p, ApplyOptions{})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !rep.Aborted || rep.AbortMember != 1 {
+		t.Fatalf("want abort at member 1, got %+v", rep)
+	}
+	if rep.AbortCause != "deadline:restart" {
+		t.Fatalf("abort cause %q, want deadline:restart verbatim", rep.AbortCause)
+	}
+	if rep.Members[1].Cause != "deadline:restart" {
+		t.Errorf("member cause %q, want deadline:restart", rep.Members[1].Cause)
+	}
+	if rep.Members[0].Outcome != OutcomeUpdated || rep.Members[2].Outcome != OutcomeSkipped {
+		t.Errorf("outcomes %q/%q, want updated/skipped", rep.Members[0].Outcome, rep.Members[2].Outcome)
+	}
+	// Wave 2 never started: only waves 0 and 1 appear in the report.
+	if len(rep.Waves) != 2 {
+		t.Errorf("started waves = %d, want 2", len(rep.Waves))
+	}
+	if i := rep.EventIndex("wave 2 armed"); i != -1 {
+		t.Errorf("wave 2 armed despite wave-1 abort:\n%s", strings.Join(rep.Events, "\n"))
+	}
+}
+
+// TestRolloutAbortLeakcheck runs a fully aborted, canary-gated rollout at
+// GOMAXPROCS 1 and 4 and checks nothing leaks: no stray goroutines, no
+// held pid reservations on any member.
+func TestRolloutAbortLeakcheck(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		t.Run(map[int]string{1: "gomaxprocs1", 4: "gomaxprocs4"}[procs], func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			g0 := leakcheck.Goroutines()
+			plane := faultinject.New(1)
+			plane.Arm(faultinject.PointRestartCrash)
+			c, err := New(Options{Server: "httpd", Members: 3, Faults: plane, FaultMember: 0})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			p, err := PlanRollout("httpd", 3, 0, PlanOptions{
+				Target: 1, WaveSize: 3, WaveBudget: 10 * time.Second,
+				Canary: "err=0.9", CanaryHold: 40 * time.Millisecond, AbortPolicy: AbortRevert,
+			})
+			if err != nil {
+				c.Shutdown()
+				t.Fatalf("PlanRollout: %v", err)
+			}
+			rep, err := Apply(c, p, ApplyOptions{})
+			if err != nil {
+				c.Shutdown()
+				t.Fatalf("Apply: %v", err)
+			}
+			if !rep.Aborted || rep.AbortCause != "fault:restart-crash" {
+				c.Shutdown()
+				t.Fatalf("want fault abort, got %+v", rep)
+			}
+			// Fully aborted: member 0 failed first, so nothing committed
+			// and every member still serves v0.
+			for i, m := range c.Members() {
+				if v := m.Version(); v != 0 {
+					t.Errorf("member %d on v%d after aborted rollout", i, v)
+				}
+				if err := leakcheck.CheckReservedPids(m.Engine().Current()); err != nil {
+					t.Errorf("member %d: %v", i, err)
+				}
+			}
+			c.Shutdown()
+			if err := leakcheck.CheckGoroutines(g0, 5*time.Second); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestDrainSustainsAggregate drains one member and checks the fleet
+// keeps completing requests through the drain window (the spilled share
+// serves from a sibling), then re-adds it cleanly.
+func TestDrainSustainsAggregate(t *testing.T) {
+	c := launch(t, Options{Server: "httpd", Members: 2})
+	if err := c.Drain(0); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	before := c.Totals()
+	time.Sleep(30 * time.Millisecond)
+	d := c.Totals().Delta(before)
+	if d.Requests == 0 {
+		t.Error("no fleet requests completed during the drain window")
+	}
+	if err := c.Drain(0); err == nil {
+		t.Error("double drain accepted")
+	}
+	if err := c.Readd(0); err != nil {
+		t.Fatalf("Readd: %v", err)
+	}
+	if err := c.Readd(0); err == nil {
+		t.Error("double readd accepted")
+	}
+	if tot := c.Totals(); tot.Errors != 0 || tot.BadResponses != 0 {
+		t.Errorf("drain/readd caused failures: %+v", tot)
+	}
+}

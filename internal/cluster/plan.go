@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/canary"
+	"repro/internal/core"
+	"repro/internal/servers"
+)
+
+// Abort policies for members already committed when a rollout aborts.
+const (
+	// AbortKeep leaves members that committed before the abort on the new
+	// version (finalized waves and, mid-wave, committed siblings).
+	AbortKeep = "keep"
+	// AbortRevert reverts the aborting wave's committed members through
+	// their still-open canary windows. It therefore requires canary mode:
+	// the adoptable old instance IS the revert mechanism — without a
+	// window a committed member has nothing to go back to. Waves that
+	// already finalized stay on the new version either way (wave
+	// granularity is the revert unit, not the rollout).
+	AbortRevert = "revert"
+)
+
+// PlanOptions parameterizes PlanRollout.
+type PlanOptions struct {
+	// Target is the version index to roll the fleet to.
+	Target int
+	// WaveSize is how many members update per wave (default 1).
+	WaveSize int
+	// WaveBudget is each wave's total deadline budget, divided evenly
+	// across the wave's members and installed as that member's per-phase
+	// watchdog ceiling (0 keeps the engine's default phase budgets).
+	WaveBudget time.Duration
+	// AbortPolicy is AbortKeep (default) or AbortRevert.
+	AbortPolicy string
+	// Canary, when non-empty, is the SLO spec (canary.ParseSLO) every
+	// member's post-commit window must clear; a breach on any member of a
+	// wave reverts the whole wave.
+	Canary string
+	// CanaryHold is each member's window length (default 100ms).
+	CanaryHold time.Duration
+}
+
+// MemberAction is one member's assignment in a rollout plan.
+type MemberAction struct {
+	Member int           `json:"member"`
+	Wave   int           `json:"wave"`
+	From   int           `json:"from"`
+	To     int           `json:"to"`
+	Budget time.Duration `json:"budget_ns"` // per-member deadline budget (0 = engine defaults)
+	Canary string        `json:"canary,omitempty"`
+}
+
+// Plan is a serializable rollout: the full per-member action list plus
+// the fleet-level knobs apply needs. `mcr-ctl -plan-out` writes it,
+// `mcr-ctl -apply` reads it back.
+type Plan struct {
+	Server      string        `json:"server"`
+	Members     int           `json:"members"`
+	Target      int           `json:"target"`
+	WaveBudget  time.Duration `json:"wave_budget_ns"`
+	AbortPolicy string        `json:"abort_policy"`
+	Canary      string        `json:"canary,omitempty"`
+	CanaryHold  time.Duration `json:"canary_hold_ns,omitempty"`
+	Waves       [][]int       `json:"waves"`
+	Actions     []MemberAction `json:"actions"`
+}
+
+// PlanRollout computes a rollout plan for a fleet of the given size
+// currently serving version `current`: members are partitioned into
+// waves of WaveSize in index order, each wave's budget is divided evenly
+// across its members, and every action carries the canary SLO.
+func PlanRollout(server string, members, current int, opts PlanOptions) (*Plan, error) {
+	spec, err := servers.SpecByName(server)
+	if err != nil {
+		return nil, err
+	}
+	if members < 1 {
+		return nil, fmt.Errorf("cluster: plan needs at least 1 member, got %d", members)
+	}
+	if opts.WaveSize <= 0 {
+		opts.WaveSize = 1
+	}
+	if opts.AbortPolicy == "" {
+		opts.AbortPolicy = AbortKeep
+	}
+	if opts.CanaryHold <= 0 {
+		opts.CanaryHold = 100 * time.Millisecond
+	}
+	if opts.Target <= current || opts.Target >= spec.NumVersions {
+		return nil, fmt.Errorf("cluster: target version %d out of range (%d,%d)",
+			opts.Target, current, spec.NumVersions)
+	}
+	p := &Plan{
+		Server:      server,
+		Members:     members,
+		Target:      opts.Target,
+		WaveBudget:  opts.WaveBudget,
+		AbortPolicy: opts.AbortPolicy,
+		Canary:      opts.Canary,
+		CanaryHold:  opts.CanaryHold,
+	}
+	for i := 0; i < members; i += opts.WaveSize {
+		end := i + opts.WaveSize
+		if end > members {
+			end = members
+		}
+		wave := make([]int, 0, end-i)
+		for m := i; m < end; m++ {
+			wave = append(wave, m)
+		}
+		var budget time.Duration
+		if opts.WaveBudget > 0 {
+			budget = opts.WaveBudget / time.Duration(len(wave))
+		}
+		for _, m := range wave {
+			p.Actions = append(p.Actions, MemberAction{
+				Member: m,
+				Wave:   len(p.Waves),
+				From:   current,
+				To:     opts.Target,
+				Budget: budget,
+				Canary: opts.Canary,
+			})
+		}
+		p.Waves = append(p.Waves, wave)
+	}
+	return p, p.Validate()
+}
+
+// Validate checks the plan's internal consistency — apply refuses a plan
+// that fails it (a hand-edited plan file goes through the same gate).
+func (p *Plan) Validate() error {
+	spec, err := servers.SpecByName(p.Server)
+	if err != nil {
+		return err
+	}
+	if p.Members < 1 {
+		return fmt.Errorf("cluster: plan has %d members", p.Members)
+	}
+	if p.Target < 1 || p.Target >= spec.NumVersions {
+		return fmt.Errorf("cluster: plan target %d out of range [1,%d)", p.Target, spec.NumVersions)
+	}
+	switch p.AbortPolicy {
+	case AbortKeep:
+	case AbortRevert:
+		if p.Canary == "" {
+			return fmt.Errorf("cluster: abort policy %q requires a canary SLO (the adoptable window is the revert mechanism)", AbortRevert)
+		}
+	default:
+		return fmt.Errorf("cluster: unknown abort policy %q (want %q or %q)", p.AbortPolicy, AbortKeep, AbortRevert)
+	}
+	if p.Canary != "" {
+		if _, err := canary.ParseSLO(p.Canary); err != nil {
+			return err
+		}
+		if p.CanaryHold <= 0 {
+			return fmt.Errorf("cluster: canary SLO set without a window length")
+		}
+	}
+	// The waves must partition [0,Members) in order, and the action list
+	// must mirror them exactly.
+	seen := make(map[int]bool, p.Members)
+	next := 0
+	acts := 0
+	for w, wave := range p.Waves {
+		if len(wave) == 0 {
+			return fmt.Errorf("cluster: wave %d is empty", w)
+		}
+		for _, m := range wave {
+			if m != next {
+				return fmt.Errorf("cluster: wave %d lists member %d out of order (want %d)", w, m, next)
+			}
+			next++
+			seen[m] = true
+			if acts >= len(p.Actions) {
+				return fmt.Errorf("cluster: action list shorter than waves")
+			}
+			a := p.Actions[acts]
+			acts++
+			if a.Member != m || a.Wave != w {
+				return fmt.Errorf("cluster: action %d is (member %d, wave %d), want (member %d, wave %d)",
+					acts-1, a.Member, a.Wave, m, w)
+			}
+			if a.To != p.Target {
+				return fmt.Errorf("cluster: member %d action targets version %d, plan targets %d", m, a.To, p.Target)
+			}
+			if a.From >= a.To {
+				return fmt.Errorf("cluster: member %d action goes backward (%d -> %d)", m, a.From, a.To)
+			}
+			if a.Budget < 0 {
+				return fmt.Errorf("cluster: member %d has a negative budget", m)
+			}
+		}
+	}
+	if len(seen) != p.Members || acts != len(p.Actions) {
+		return fmt.Errorf("cluster: waves cover %d of %d members (%d of %d actions)",
+			len(seen), p.Members, acts, len(p.Actions))
+	}
+	return nil
+}
+
+// SLO parses the plan's canary spec (zero SLO when no canary is set).
+func (p *Plan) SLO() (canary.SLO, error) {
+	if p.Canary == "" {
+		return canary.SLO{}, nil
+	}
+	return canary.ParseSLO(p.Canary)
+}
+
+// budgetDeadlines converts one member's total deadline budget into a
+// per-phase watchdog table: every default phase is capped at the budget,
+// so whichever phase a wedged member is stuck in aborts within it and
+// the member's `deadline:<phase>` cause names the phase that blew it.
+func budgetDeadlines(budget time.Duration) map[string]time.Duration {
+	d := core.DefaultPhaseDeadlines()
+	for phase, def := range d {
+		if budget < def {
+			d[phase] = budget
+		}
+	}
+	return d
+}
+
+// Encode writes the plan as indented JSON.
+func (p *Plan) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// DecodePlan reads and validates a plan written by Encode.
+func DecodePlan(r io.Reader) (*Plan, error) {
+	var p Plan
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("cluster: decode plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Render prints the plan as the operator-facing action list.
+func (p *Plan) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rollout plan: %s fleet of %d -> v%d in %d waves (abort policy %s",
+		p.Server, p.Members, p.Target, len(p.Waves), p.AbortPolicy)
+	if p.Canary != "" {
+		fmt.Fprintf(&b, ", canary %s over %v", p.Canary, p.CanaryHold)
+	}
+	b.WriteString(")\n")
+	for _, a := range p.Actions {
+		fmt.Fprintf(&b, "  wave %d  member %d  v%d -> v%d", a.Wave, a.Member, a.From, a.To)
+		if a.Budget > 0 {
+			fmt.Fprintf(&b, "  budget %v", a.Budget)
+		}
+		if a.Canary != "" {
+			fmt.Fprintf(&b, "  canary %s", a.Canary)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

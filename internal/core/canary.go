@@ -106,12 +106,17 @@ func (e *Engine) SetCanaryPacing(window, interval time.Duration, grace int) {
 }
 
 // CanaryWait blocks until no canary window is open: immediately true when
-// none is, false if the open window has not resolved within the timeout.
-// The canary fields of the window's UpdateReport are settled once this
-// returns true.
+// none ever opened, false if the open window has not resolved within the
+// timeout. The canary fields of the window's UpdateReport are settled
+// once this returns true — a window that already resolved is still waited
+// on through its done channel, so the resolution's trailing writes (the
+// rollback digest audit on a revert) are complete, not merely started.
 func (e *Engine) CanaryWait(timeout time.Duration) bool {
 	e.mu.Lock()
 	run := e.canaryRun
+	if run == nil {
+		run = e.canaryLast
+	}
 	e.mu.Unlock()
 	if run == nil {
 		return true
@@ -122,6 +127,28 @@ func (e *Engine) CanaryWait(timeout time.Duration) bool {
 	case <-time.After(timeout):
 		return false
 	}
+}
+
+// RevertCanary force-resolves an open canary window as a breach of the
+// given metric (rollback cause "canary:<metric>"): the new version is
+// quiesced and terminated and the old instance is adopted back, exactly
+// as an SLO breach would. This is the fleet orchestrator's wave-revert —
+// when one member of a rollout wave breaches its SLO, the siblings still
+// holding open windows are reverted with it. Returns false when no
+// window is open; blocks until the revert completes.
+func (e *Engine) RevertCanary(metric string) bool {
+	if metric == "" {
+		metric = "operator"
+	}
+	e.mu.Lock()
+	run := e.canaryRun
+	e.mu.Unlock()
+	if run == nil {
+		return false
+	}
+	e.resolveCanary(run, &canary.Breach{Metric: metric})
+	<-run.done
+	return true
 }
 
 // CanaryStatus describes the canary for operators (the mcr-ctl "canary
@@ -197,6 +224,7 @@ func (e *Engine) openCanary(old, newInst *program.Instance, rep *UpdateReport) b
 	// engine phases of a subsequent rollback.
 	run.span = e.opts.Recorder.Span(obs.TrackCanary, obs.PhaseCanaryWindow)
 	e.canaryRun = run
+	e.canaryLast = run
 	e.current = newInst
 	e.mu.Unlock()
 	newInst.Resume()

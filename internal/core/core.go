@@ -284,6 +284,7 @@ type Engine struct {
 	canarySLO     canary.SLO
 	canarySrc     func() canary.Sample
 	canaryRun     *canaryRun
+	canaryLast    *canaryRun // most recent window, kept after resolution (CanaryWait settles on it)
 	canaryBase    float64
 	canaryOutcome string
 	canaryCause   string
@@ -389,6 +390,21 @@ func (e *Engine) SetWarmPacing(interval time.Duration, dutyCycle float64) {
 	defer e.mu.Unlock()
 	e.opts.WarmInterval = interval
 	e.opts.WarmDutyCycle = dutyCycle
+}
+
+// SetPhaseDeadlines replaces the per-phase watchdog budget table for
+// updates started after this call (nil restores the default profile; an
+// explicitly empty map disables the watchdog). The fleet orchestrator
+// uses this to divide a rollout wave's deadline budget across its
+// members before each member's update. Must not be called while an
+// update on this engine is in flight.
+func (e *Engine) SetPhaseDeadlines(deadlines map[string]time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if deadlines == nil {
+		deadlines = DefaultPhaseDeadlines()
+	}
+	e.opts.PhaseDeadlines = deadlines
 }
 
 // stopAndDiscard halts a daemon and discards its checkpoint, handing

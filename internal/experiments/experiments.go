@@ -105,6 +105,8 @@ type Config struct {
 	// (empty = the full matrix); the CI smoke runs a representative
 	// subset this way.
 	FaultCells []string
+	// RolloutScenarios narrows the fleet-rollout campaign the same way.
+	RolloutScenarios []string
 }
 
 // options merges the run configuration into engine options.

@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/faultinject"
+	"repro/internal/leakcheck"
+)
+
+// The fleet-rollout capstone: a plan→apply rolling update across an
+// N-member fleet under sustained closed-loop traffic, healthy and
+// fault-injected. Every scenario asserts the same fleet-level survival
+// contract the single-instance campaign (faults.go) asserts per update:
+// zero failed and zero wrong responses fleet-wide, reverted members
+// bit-identical with their consumed soft-dirty bits restored, no leaked
+// goroutines or pid reservations — plus the orchestration contract: a
+// failing member's cause bubbles up verbatim as the abort reason and
+// un-started waves never arm.
+
+// RolloutScenario is one rollout cell.
+type RolloutScenario struct {
+	Name    string
+	Server  string
+	Members int
+	// WaveSize / WaveBudget / Canary / AbortPolicy shape the plan.
+	WaveSize    int
+	WaveBudget  time.Duration
+	Canary      string
+	CanaryHold  time.Duration
+	AbortPolicy string
+	// Fault arms the point on FaultMember's engine; ExpectCause is the
+	// required verbatim abort cause ("" = the rollout must not abort).
+	Fault       faultinject.Point
+	FaultMember int
+	ExpectCause string
+	// Hold keeps the fleet serving this long after the rollout (the
+	// post-rollout window the healthy throughput row measures).
+	Hold time.Duration
+}
+
+// RolloutRow is one scenario's measured outcome.
+type RolloutRow struct {
+	Scenario string
+	Server   string
+	Members  int
+	Waves    int // waves that started
+	WavesOK  int // waves that committed
+
+	Aborted     bool
+	AbortMember int
+	Cause       string // abort cause, verbatim from the failing member
+
+	// AggregateRPS is fleet-wide completed requests over the rollout; a
+	// healthy rollout must also sustain MinWaveRPS > 0 through every wave.
+	AggregateRPS float64
+	MinWaveRPS   float64
+	Requests     int
+	Errors       int
+	BadResponses int
+
+	// Verified/Identical cover every member that rolled back or reverted
+	// (true when all of them passed the digest audit).
+	Verified  bool
+	Identical bool
+
+	Elapsed  time.Duration
+	Survived bool
+}
+
+// RolloutResult is the campaign outcome.
+type RolloutResult struct {
+	GOMAXPROCS int
+	Clients    int // per-member workload share
+	Rows       []RolloutRow
+}
+
+// rolloutCampaign is the scenario matrix: one healthy canary-gated
+// rollout and two fault-injected aborts (a wedged restart recovered by
+// the wave's deadline budget, and a restart crash).
+func rolloutCampaign(s Scale) []RolloutScenario {
+	hold := 40 * time.Millisecond
+	post := 30 * time.Millisecond
+	if s == Full {
+		hold = 200 * time.Millisecond
+		post = 200 * time.Millisecond
+	}
+	return []RolloutScenario{
+		{Name: "healthy", Server: "httpd", Members: 3, WaveSize: 2,
+			WaveBudget: 20 * time.Second, Canary: "err=0.9", CanaryHold: hold,
+			AbortPolicy: cluster.AbortRevert, Hold: post},
+		{Name: "fault-deadline", Server: "httpd", Members: 3, WaveSize: 1,
+			WaveBudget: 250 * time.Millisecond,
+			Fault:      faultinject.PointRestartHang, FaultMember: 1,
+			ExpectCause: "deadline:restart"},
+		{Name: "fault-crash", Server: "httpd", Members: 3, WaveSize: 1,
+			WaveBudget: 20 * time.Second, Canary: "err=0.9", CanaryHold: hold,
+			AbortPolicy: cluster.AbortKeep,
+			Fault:       faultinject.PointRestartCrash, FaultMember: 1,
+			ExpectCause: "fault:restart-crash"},
+	}
+}
+
+// rolloutCell runs one scenario on a fresh fleet and asserts its
+// survival contract (hard errors, like faultCell).
+func rolloutCell(cfg Config, sc RolloutScenario, clients int) (RolloutRow, error) {
+	row := RolloutRow{Scenario: sc.Name, Server: sc.Server, Members: sc.Members}
+	g0 := leakcheck.Goroutines()
+	var plane *faultinject.Plane
+	if sc.Fault != "" {
+		plane = faultinject.New(1)
+		plane.Arm(sc.Fault)
+	}
+	c, err := cluster.New(cluster.Options{
+		Server: sc.Server, Members: sc.Members, Clients: clients,
+		Parallelism: cfg.Parallelism, Faults: plane, FaultMember: sc.FaultMember,
+	})
+	if err != nil {
+		return RolloutRow{}, fmt.Errorf("%s: %w", sc.Name, err)
+	}
+	shutdown := c.Shutdown
+	defer func() { shutdown() }()
+
+	p, err := cluster.PlanRollout(sc.Server, sc.Members, 0, cluster.PlanOptions{
+		Target: 1, WaveSize: sc.WaveSize, WaveBudget: sc.WaveBudget,
+		Canary: sc.Canary, CanaryHold: sc.CanaryHold, AbortPolicy: sc.AbortPolicy,
+	})
+	if err != nil {
+		return RolloutRow{}, fmt.Errorf("%s: %w", sc.Name, err)
+	}
+	rep, err := cluster.Apply(c, p, cluster.ApplyOptions{})
+	if err != nil {
+		return RolloutRow{}, fmt.Errorf("%s: apply: %w", sc.Name, err)
+	}
+	if sc.Hold > 0 {
+		time.Sleep(sc.Hold)
+	}
+
+	row.Waves = len(rep.Waves)
+	row.Aborted = rep.Aborted
+	row.AbortMember = rep.AbortMember
+	row.Cause = rep.AbortCause
+	row.Elapsed = rep.Elapsed
+	tot := c.Totals()
+	row.Requests = tot.Requests
+	row.Errors = tot.Errors
+	row.BadResponses = tot.BadResponses
+	if s := rep.Elapsed.Seconds(); s > 0 {
+		row.AggregateRPS = float64(rep.Totals.Requests) / s
+	}
+	row.MinWaveRPS = -1
+	for _, w := range rep.Waves {
+		if w.Committed {
+			row.WavesOK++
+		}
+		if row.MinWaveRPS < 0 || w.AggregateRPS < row.MinWaveRPS {
+			row.MinWaveRPS = w.AggregateRPS
+		}
+	}
+
+	// The orchestration contract.
+	if sc.ExpectCause == "" {
+		if rep.Aborted {
+			return RolloutRow{}, fmt.Errorf("%s: rollout aborted: %s\n%s",
+				sc.Name, rep.AbortCause, strings.Join(rep.Events, "\n"))
+		}
+		for i, m := range c.Members() {
+			if v := m.Version(); v != p.Target {
+				return RolloutRow{}, fmt.Errorf("%s: member %d on v%d, want v%d", sc.Name, i, v, p.Target)
+			}
+		}
+		if row.MinWaveRPS <= 0 {
+			return RolloutRow{}, fmt.Errorf("%s: a wave recorded no aggregate throughput", sc.Name)
+		}
+	} else {
+		if !rep.Aborted {
+			return RolloutRow{}, fmt.Errorf("%s: rollout did not abort", sc.Name)
+		}
+		if rep.AbortCause != sc.ExpectCause {
+			return RolloutRow{}, fmt.Errorf("%s: abort cause %q, want %q verbatim",
+				sc.Name, rep.AbortCause, sc.ExpectCause)
+		}
+		if rep.AbortMember != sc.FaultMember {
+			return RolloutRow{}, fmt.Errorf("%s: abort member %d, want %d",
+				sc.Name, rep.AbortMember, sc.FaultMember)
+		}
+		if !plane.Fired(sc.Fault) {
+			return RolloutRow{}, fmt.Errorf("%s: armed fault never fired", sc.Name)
+		}
+		// Every member the abort rolled back or reverted must have passed
+		// the digest audit; un-started members must be untouched.
+		row.Verified, row.Identical = true, true
+		audited := 0
+		for _, mr := range rep.Members {
+			switch mr.Outcome {
+			case cluster.OutcomeRolledBack, cluster.OutcomeReverted:
+				audited++
+				row.Verified = row.Verified && mr.RollbackVerified
+				row.Identical = row.Identical && mr.RollbackIdentical
+			case cluster.OutcomeSkipped:
+				if v := c.Member(mr.Member).Version(); v != 0 {
+					return RolloutRow{}, fmt.Errorf("%s: skipped member %d moved to v%d", sc.Name, mr.Member, v)
+				}
+			}
+		}
+		if audited == 0 {
+			return RolloutRow{}, fmt.Errorf("%s: no member rolled back in an aborted rollout", sc.Name)
+		}
+		if !row.Verified || !row.Identical {
+			return RolloutRow{}, fmt.Errorf("%s: rollback digest audit failed (verified=%v identical=%v)",
+				sc.Name, row.Verified, row.Identical)
+		}
+	}
+	if row.Errors > 0 || row.BadResponses > 0 {
+		return RolloutRow{}, fmt.Errorf("%s: %d failed / %d wrong responses fleet-wide",
+			sc.Name, row.Errors, row.BadResponses)
+	}
+
+	// Hygiene: warm daemons disarmed (armed, they legitimately hold
+	// consumed soft-dirty bits), then every member must hold zero consumed
+	// pages and no stale pid reservations; the fleet must tear down to the
+	// starting goroutine count.
+	for i, m := range c.Members() {
+		m.Engine().DisarmWarm()
+		consumed := 0
+		for _, pr := range m.Engine().Current().Procs() {
+			consumed += pr.Space().ConsumedCount()
+		}
+		if consumed != 0 {
+			return RolloutRow{}, fmt.Errorf("%s: member %d holds %d consumed soft-dirty pages", sc.Name, i, consumed)
+		}
+		if err := leakcheck.CheckReservedPids(m.Engine().Current()); err != nil {
+			return RolloutRow{}, fmt.Errorf("%s: member %d: %w", sc.Name, i, err)
+		}
+	}
+	shutdown()
+	shutdown = func() {}
+	if err := leakcheck.CheckGoroutines(g0, 5*time.Second); err != nil {
+		return RolloutRow{}, fmt.Errorf("%s: %w", sc.Name, err)
+	}
+	row.Survived = true
+	return row, nil
+}
+
+// RunRollout executes the fleet-rollout campaign, Config.RolloutScenarios
+// optionally narrowing the matrix (the CI smoke runs a subset).
+func RunRollout(cfg Config) (*RolloutResult, error) {
+	res := &RolloutResult{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Clients:    2,
+	}
+	if cfg.Scale == Full {
+		res.Clients = 4
+	}
+	scenarios := rolloutCampaign(cfg.Scale)
+	if len(cfg.RolloutScenarios) > 0 {
+		want := map[string]bool{}
+		for _, n := range cfg.RolloutScenarios {
+			want[n] = true
+		}
+		kept := scenarios[:0]
+		for _, s := range scenarios {
+			if want[s.Name] {
+				kept = append(kept, s)
+			}
+		}
+		scenarios = kept
+	}
+	for _, sc := range scenarios {
+		row, err := rolloutCell(cfg, sc, res.Clients)
+		if err != nil {
+			return nil, fmt.Errorf("rollout: %w", err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the campaign matrix and the survival verdict.
+func (r *RolloutResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fleet rollout campaign: plan/apply rolling updates under live traffic (%d clients/member, GOMAXPROCS=%d)\n",
+		r.Clients, r.GOMAXPROCS)
+	fmt.Fprintf(&b, "%-15s %-7s %3s %6s %9s %9s %8s %-22s %5s %5s %4s %-8s\n",
+		"scenario", "server", "n", "waves", "agg-rps", "min-wave", "elapsed", "abort-cause", "ident", "errs", "bad", "verdict")
+	survived := 0
+	for _, row := range r.Rows {
+		verdict := "SURVIVED"
+		if !row.Survived {
+			verdict = "FAILED"
+		} else {
+			survived++
+		}
+		cause := row.Cause
+		if cause == "" {
+			cause = "-"
+		}
+		ident := "n/a"
+		if row.Aborted {
+			ident = fmt.Sprintf("%v", row.Identical)
+		}
+		fmt.Fprintf(&b, "%-15s %-7s %3d %3d/%-2d %9.0f %9.0f %8s %-22s %5s %5d %4d %-8s\n",
+			row.Scenario, row.Server, row.Members, row.WavesOK, row.Waves,
+			row.AggregateRPS, row.MinWaveRPS, row.Elapsed.Round(time.Millisecond),
+			cause, ident, row.Errors, row.BadResponses, verdict)
+	}
+	fmt.Fprintf(&b, "%d/%d scenarios survived\n", survived, len(r.Rows))
+	b.WriteString("contract per scenario: zero failed/wrong responses fleet-wide, causes bubble up verbatim, reverted members\n")
+	b.WriteString("bit-identical with consumed soft-dirty bits restored, un-started waves never arm, nothing leaks\n")
+	return b.String()
+}

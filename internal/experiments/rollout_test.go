@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+// TestRolloutCampaignSmoke runs a healthy rollout and a fault-aborted
+// one — the rolloutCell assertions are the test (causes bubble verbatim,
+// zero failed responses, digest audits, leak checks).
+func TestRolloutCampaignSmoke(t *testing.T) {
+	res, err := RunRollout(Config{RolloutScenarios: []string{"healthy", "fault-crash"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !row.Survived {
+			t.Errorf("%s: did not survive", row.Scenario)
+		}
+		if row.Errors != 0 || row.BadResponses != 0 {
+			t.Errorf("%s: %d failed / %d wrong responses", row.Scenario, row.Errors, row.BadResponses)
+		}
+	}
+	if res.Rows[0].Aborted || res.Rows[0].Cause != "" {
+		t.Errorf("healthy row aborted: %+v", res.Rows[0])
+	}
+	if !res.Rows[1].Aborted || res.Rows[1].Cause != "fault:restart-crash" {
+		t.Errorf("fault row cause %q, want fault:restart-crash", res.Rows[1].Cause)
+	}
+	t.Logf("\n%s", res.Render())
+}
+
+// TestRolloutDeadlineScenario exercises the wave-budget path: the wedged
+// member's deadline cause must bubble up verbatim.
+func TestRolloutDeadlineScenario(t *testing.T) {
+	res, err := RunRollout(Config{RolloutScenarios: []string{"fault-deadline"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if !row.Survived || row.Cause != "deadline:restart" {
+		t.Fatalf("row %+v, want survived with cause deadline:restart", row)
+	}
+}
