@@ -37,7 +37,10 @@ func launchBench(b *testing.B, spec *servers.Spec, opts core.Options) (*core.Eng
 	}
 	k := kernel.New()
 	servers.SeedFiles(k)
-	e := core.NewEngine(k, opts)
+	e, err := core.NewEngine(k, opts)
+	if err != nil {
+		b.Fatalf("engine %s: %v", spec.Name, err)
+	}
 	if _, err := e.Launch(spec.Version(0)); err != nil {
 		b.Fatalf("launch %s: %v", spec.Name, err)
 	}
@@ -356,7 +359,7 @@ func BenchmarkDirtyFilter(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				e, k := launchBench(b, servers.NginxSpec(), core.Options{DisableDirtyFilter: disable})
+				e, k := launchBench(b, servers.NginxSpec(), core.Options{Transfer: core.TransferOptions{DisableDirtyFilter: disable}})
 				sessions, err := workload.OpenSessions(k, "nginx", servers.NginxPort, 5)
 				if err != nil {
 					b.Fatal(err)
@@ -546,11 +549,7 @@ func BenchmarkDowntime(b *testing.B) {
 	}
 	for _, row := range res.Rows {
 		row := row
-		name := "pipelined"
-		if row.Sequential {
-			name = "sequential"
-		}
-		b.Run(name, func(b *testing.B) {
+		b.Run(row.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				// The measurement was taken once above; report it per run.
 			}
@@ -558,8 +557,12 @@ func BenchmarkDowntime(b *testing.B) {
 			b.ReportMetric(float64(row.Analysis.Microseconds()), "analysis-µs")
 			b.ReportMetric(float64(row.ControlMigration.Microseconds()), "restart-µs")
 			b.ReportMetric(float64(row.StateTransfer.Microseconds()), "copy-µs")
-			if !row.Sequential {
+			if row.Name == "pipelined" {
 				b.ReportMetric(res.Reduction()*100, "reduction-pct")
+			}
+			if row.Adopt {
+				b.ReportMetric(row.AdoptionFraction*100, "adopted-pct")
+				b.ReportMetric(float64(row.AdoptedPages), "adopted-pages")
 			}
 		})
 	}

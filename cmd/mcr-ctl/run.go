@@ -86,6 +86,7 @@ type config struct {
 	Server      string
 	Updates     int
 	Parallelism int    // state-transfer workers (0 = GOMAXPROCS, 1 = sequential)
+	Adopt       bool   // arm the zero-copy page-adoption fast path
 	Precopy     bool   // arm the incremental pre-copy checkpoint engine
 	Epochs      int    // pre-copy epoch bound (0 = checkpoint default)
 	Sequential  bool   // strictly-ordered update engine (pipelining off)
@@ -162,17 +163,24 @@ func run(cfg config, out io.Writer) error {
 	k := kernel.New()
 	servers.SeedFiles(k)
 	plane.AttachRecorder(rec)
-	engine := core.NewEngine(k, core.Options{
-		Parallelism:    cfg.Parallelism,
-		Precopy:        cfg.Precopy,
-		PrecopyEpochs:  cfg.Epochs,
-		Sequential:     cfg.Sequential,
-		Warm:           cfg.Warm,
-		Recorder:       rec,
-		Faults:         plane,
-		PhaseDeadlines: deadlines,
-		VerifyRollback: plane != nil || deadlines != nil,
-	})
+	eopts := core.Options{
+		Transfer:   core.TransferOptions{Parallelism: cfg.Parallelism, Adopt: cfg.Adopt},
+		Sequential: cfg.Sequential,
+		Warm:       core.WarmOptions{Enabled: cfg.Warm},
+		Recorder:   rec,
+		Faults:     plane,
+		Watchdog: core.WatchdogOptions{
+			PhaseDeadlines: deadlines,
+			VerifyRollback: plane != nil || deadlines != nil,
+		},
+	}
+	if cfg.Precopy {
+		eopts.Precopy = core.PrecopyOptions{Enabled: true, Epochs: cfg.Epochs}
+	}
+	engine, err := core.NewEngine(k, eopts)
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
 	if _, err := engine.Launch(spec.Version(0)); err != nil {
 		return fmt.Errorf("launch: %w", err)
 	}
@@ -292,6 +300,11 @@ func run(cfg config, out io.Writer) error {
 			fmt.Fprintf(out, "  downtime: %s (%s engine; %d/%d analyses reused)\n",
 				rep.Downtime.Round(10*time.Microsecond), engineName,
 				rep.AnalysesReused, rep.AnalysesReused+rep.ProcsReanalyzed)
+			if cfg.Adopt {
+				fmt.Fprintf(out, "  adopted pages: %d (%d B, %.0f%% of transferred bytes moved zero-copy)\n",
+					rep.Transfer.PagesAdopted, rep.Transfer.BytesAdopted,
+					rep.Transfer.AdoptionFraction()*100)
+			}
 			if rep.Canary {
 				line := "  canary: " + rep.CanaryOutcome
 				if rep.RollbackCause != "" {

@@ -54,7 +54,10 @@ func run(cfg config, out io.Writer) error {
 	prof.Start()
 	k := kernel.New()
 	servers.SeedFiles(k)
-	engine := core.NewEngine(k, core.Options{Profiler: prof, Recorder: rec})
+	engine, err := core.NewEngine(k, core.Options{Profiler: prof, Recorder: rec})
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
 	if _, err := engine.Launch(spec.Version(0)); err != nil {
 		return fmt.Errorf("launch: %w", err)
 	}

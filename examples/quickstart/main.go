@@ -155,7 +155,10 @@ func dumpList(p *mcr.Proc, label string, hasNew bool) {
 
 func main() {
 	k := mcr.NewKernel()
-	engine := mcr.NewEngine(k, mcr.Options{})
+	engine, err := mcr.NewEngine(k, mcr.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("== launching listing1 v1 ==")
 	if _, err := engine.Launch(version(0, false)); err != nil {

@@ -23,7 +23,10 @@ func main() {
 	spec := servers.HttpdSpec()
 	k := mcr.NewKernel()
 	servers.SeedFiles(k)
-	engine := mcr.NewEngine(k, mcr.Options{})
+	engine, err := mcr.NewEngine(k, mcr.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	if _, err := engine.Launch(spec.Version(0)); err != nil {
 		log.Fatal(err)
 	}

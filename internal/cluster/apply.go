@@ -60,12 +60,12 @@ type WaveReport struct {
 
 // RolloutReport is the recorded result of one Apply.
 type RolloutReport struct {
-	Server      string         `json:"server"`
-	Target      int            `json:"target"`
-	AbortPolicy string         `json:"abort_policy"`
-	Aborted     bool           `json:"aborted"`
-	AbortWave   int            `json:"abort_wave"`
-	AbortMember int            `json:"abort_member"`
+	Server      string `json:"server"`
+	Target      int    `json:"target"`
+	AbortPolicy string `json:"abort_policy"`
+	Aborted     bool   `json:"aborted"`
+	AbortWave   int    `json:"abort_wave"`
+	AbortMember int    `json:"abort_member"`
 	// AbortCause is the failing member's rollback cause, verbatim — the
 	// `deadline:<phase>` / `fault:<point>` / `canary:<metric>` taxonomy
 	// bubbles up unmodified as the rollout abort reason.
@@ -74,9 +74,9 @@ type RolloutReport struct {
 	Members    []MemberReport `json:"members"`
 	// Events is the ordered orchestration log (arm/start/commit/abort);
 	// tests assert abort ordering against it.
-	Events   []string      `json:"events"`
-	Totals   Tally         `json:"totals"`
-	Elapsed  time.Duration `json:"elapsed_ns"`
+	Events  []string      `json:"events"`
+	Totals  Tally         `json:"totals"`
+	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
 // Event appends to the ordered log (and the live progress stream).
@@ -218,7 +218,7 @@ func Apply(c *Cluster, p *Plan, opts ApplyOptions) (*RolloutReport, error) {
 		waveStart := time.Now()
 		waveTally := c.Totals()
 		rep.event(opts.Progress, "wave %d start: members %v", w, wave)
-		var committed []int       // members committed this wave
+		var committed []int // members committed this wave
 		var reports []*core.UpdateReport
 		finishWave := func() {
 			wrep.Duration = time.Since(waveStart)

@@ -167,10 +167,8 @@ func New(opts Options) (*Cluster, error) {
 	c := &Cluster{opts: opts, spec: spec}
 	for i := 0; i < opts.Members; i++ {
 		eopts := core.Options{
-			Parallelism:    opts.Parallelism,
-			VerifyTransfer: true,
-			VerifyRollback: true,
-			WarmInterval:   opts.WarmInterval,
+			Transfer:       core.TransferOptions{Parallelism: opts.Parallelism, VerifyTransfer: true},
+			Watchdog:       core.WatchdogOptions{VerifyRollback: true},
 			QuiesceTimeout: 30 * time.Second,
 			StartupTimeout: 30 * time.Second,
 			Recorder:       opts.Recorder,
@@ -180,7 +178,15 @@ func New(opts Options) (*Cluster, error) {
 		}
 		m := &Member{Index: i, kern: kernel.New(), started: time.Now()}
 		servers.SeedFiles(m.kern)
-		m.eng = core.NewEngine(m.kern, eopts)
+		m.eng, err = core.NewEngine(m.kern, eopts)
+		if err != nil {
+			c.Shutdown()
+			return nil, fmt.Errorf("cluster: engine member %d: %w", i, err)
+		}
+		// Members arm warm standby explicitly (ArmWarm around rollout
+		// waves), so the pacing goes through the mutator rather than
+		// Options — Validate rejects Warm.Interval without Warm.Enabled.
+		m.eng.SetWarmPacing(opts.WarmInterval, 0)
 		if _, err := m.eng.Launch(spec.Version(0)); err != nil {
 			c.Shutdown()
 			return nil, fmt.Errorf("cluster: launch member %d: %w", i, err)

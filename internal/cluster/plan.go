@@ -60,14 +60,14 @@ type MemberAction struct {
 // the fleet-level knobs apply needs. `mcr-ctl -plan-out` writes it,
 // `mcr-ctl -apply` reads it back.
 type Plan struct {
-	Server      string        `json:"server"`
-	Members     int           `json:"members"`
-	Target      int           `json:"target"`
-	WaveBudget  time.Duration `json:"wave_budget_ns"`
-	AbortPolicy string        `json:"abort_policy"`
-	Canary      string        `json:"canary,omitempty"`
-	CanaryHold  time.Duration `json:"canary_hold_ns,omitempty"`
-	Waves       [][]int       `json:"waves"`
+	Server      string         `json:"server"`
+	Members     int            `json:"members"`
+	Target      int            `json:"target"`
+	WaveBudget  time.Duration  `json:"wave_budget_ns"`
+	AbortPolicy string         `json:"abort_policy"`
+	Canary      string         `json:"canary,omitempty"`
+	CanaryHold  time.Duration  `json:"canary_hold_ns,omitempty"`
+	Waves       [][]int        `json:"waves"`
 	Actions     []MemberAction `json:"actions"`
 }
 

@@ -96,7 +96,10 @@ func hiddenPtrVersion(release string, seq int) *program.Version {
 func TestPolicyAblationHiddenPointer(t *testing.T) {
 	run := func(opts Options) (stashVal uint64, present bool) {
 		k := kernel.New()
-		e := NewEngine(k, opts)
+		e, err := NewEngine(k, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if _, err := e.Launch(hiddenPtrVersion("1.0", 0)); err != nil {
 			t.Fatal(err)
 		}
@@ -135,7 +138,7 @@ func TestPolicyAblationHiddenPointer(t *testing.T) {
 // transfers strictly more bytes for the same update.
 func TestDirtyFilterAblationViaEngine(t *testing.T) {
 	measure := func(disable bool) uint64 {
-		e, k := launchEchod(t, Options{DisableDirtyFilter: disable})
+		e, k := launchEchod(t, Options{Transfer: TransferOptions{DisableDirtyFilter: disable}})
 		defer e.Shutdown()
 		cc, _ := k.Connect(7000)
 		sendRecv(t, cc, "x")

@@ -72,6 +72,7 @@ func (e *Engine) ArmCanary(slo canary.SLO, src func() canary.Sample) error {
 	e.canaryOn = true
 	e.canarySLO = slo
 	e.canarySrc = src
+	e.opts.Canary.Enabled = true
 	return nil
 }
 
@@ -97,12 +98,12 @@ func (e *Engine) SetCanaryPacing(window, interval time.Duration, grace int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if window > 0 {
-		e.opts.CanaryWindow = window
+		e.opts.Canary.Window = window
 	}
 	if interval > 0 {
-		e.opts.CanaryInterval = interval
+		e.opts.Canary.Interval = interval
 	}
-	e.opts.CanaryGrace = grace
+	e.opts.Canary.Grace = grace
 }
 
 // CanaryWait blocks until no canary window is open: immediately true when
@@ -199,9 +200,9 @@ func (e *Engine) openCanary(old, newInst *program.Instance, rep *UpdateReport) b
 		return false
 	}
 	src := e.canarySrc
-	window := e.opts.CanaryWindow
-	interval := e.opts.CanaryInterval
-	grace := e.opts.CanaryGrace
+	window := e.opts.Canary.Window
+	interval := e.opts.Canary.Interval
+	grace := e.opts.Canary.Grace
 	if grace < 0 {
 		grace = 0
 	}
@@ -227,6 +228,18 @@ func (e *Engine) openCanary(old, newInst *program.Instance, rep *UpdateReport) b
 	e.canaryLast = run
 	e.current = newInst
 	e.mu.Unlock()
+	// Make the parked old instance whole before the new version resumes:
+	// adopted page frames stay with the new instance (which is about to
+	// serve from them), but their contents — still bit-identical to the
+	// quiesce-time state here — are copied back into the old address
+	// spaces, so a breach adopts back exactly the checkpointed state
+	// without touching the serving side.
+	if rep.ledger != nil {
+		if cerr := rep.ledger.CopyBack(); cerr != nil {
+			e.opts.Recorder.InstantNote(obs.TrackCanary, obs.PhaseCanaryJudge,
+				"copyback-failed: "+cerr.Error())
+		}
+	}
 	newInst.Resume()
 	// Failsafe: if the monitor goroutine dies without resolving (a crash,
 	// or the injected canary-monitor fault), the window must not stay

@@ -186,10 +186,9 @@ func TestCanaryFaultMatrix(t *testing.T) {
 
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			opts := Options{VerifyTransfer: true}
+			opts := Options{Transfer: TransferOptions{VerifyTransfer: true}}
 			if tc.warm {
-				opts.Warm = true
-				opts.WarmInterval = 200 * time.Microsecond
+				opts.Warm = WarmOptions{Enabled: true, Interval: 200 * time.Microsecond}
 			}
 			e, k := launchEchod(t, opts)
 			defer e.Shutdown()
@@ -380,7 +379,7 @@ func TestCanaryFaultMatrix(t *testing.T) {
 // invisible to the committed state.
 func TestCanaryAcceptBitIdenticalToPlainCommit(t *testing.T) {
 	drive := func(withCanary bool) (*UpdateReport, *program.Instance) {
-		e, k := launchEchod(t, Options{Precopy: true, VerifyTransfer: true})
+		e, k := launchEchod(t, Options{Precopy: PrecopyOptions{Enabled: true}, Transfer: TransferOptions{VerifyTransfer: true}})
 		t.Cleanup(e.Shutdown)
 		c1, err := k.Connect(7000)
 		if err != nil {
@@ -429,7 +428,7 @@ func TestCanaryAcceptBitIdenticalToPlainCommit(t *testing.T) {
 // TestCanaryControllerStatus exercises the mcr-ctl "canary status"
 // surface across the armed -> reverted lifecycle.
 func TestCanaryControllerStatus(t *testing.T) {
-	e, _ := launchEchod(t, Options{VerifyTransfer: true})
+	e, _ := launchEchod(t, Options{Transfer: TransferOptions{VerifyTransfer: true}})
 	defer e.Shutdown()
 	c := NewController(e, "/run/mcr.sock")
 

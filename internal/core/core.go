@@ -33,10 +33,125 @@ var (
 	ErrCanaryOpen   = errors.New("core: a canary window is open; wait for it to resolve")
 )
 
-// Options configures the engine.
+// TransferOptions groups the state-transfer (REMAP) knobs.
+type TransferOptions struct {
+	// Parallelism is the per-process state-transfer worker count
+	// (0 = GOMAXPROCS, 1 = sequential); see trace.Options.Parallelism.
+	Parallelism int
+	// Adopt arms the zero-copy page-adoption fast path: old-instance
+	// pages whose every object is provably bit-identical across the
+	// update (layout-identical same-address pair needing no pointer
+	// rewrite) are moved into the new address space as whole frames — the
+	// simulated analogue of the paper's VMA remap — instead of copied
+	// object by object. Downtime copy bytes for a layout-identical update
+	// approach zero; results stay bit-identical with adoption on or off,
+	// rollback returns every donated frame, and a canary window copies
+	// the adopted contents back at window open so the quiesced old
+	// instance stays whole.
+	Adopt bool
+	// VerifyTransfer enables the transfer's shadow-verification checksum:
+	// every byte served from a pre-copy shadow is cross-checked against
+	// the quiesced live memory it stands in for, and Stats.Checksum
+	// digests the full transferred stream (FNV-64a per object, combined
+	// order-independently) — adopted pages included, digested before
+	// their frames move. A stale shadow fails the update instead of
+	// committing corrupt state. Costs one extra locked read per
+	// shadow-served object; meant for harnesses and audits.
+	VerifyTransfer bool
+	// DisableDirtyFilter transfers all state, ignoring soft-dirty bits
+	// (ablation).
+	DisableDirtyFilter bool
+}
+
+// PrecopyOptions groups the incremental pre-copy checkpoint knobs.
+type PrecopyOptions struct {
+	// Enabled arms the pre-copy checkpoint engine: before the CHECKPOINT
+	// quiesce, a snapshotter runs bounded pre-copy epochs over the
+	// still-serving old version, shadowing dirty objects so the downtime
+	// copy only reads the dirty working set from live memory. Results are
+	// bit-identical with or without pre-copy.
+	Enabled bool
+	// Epochs bounds the pre-copy epoch loop (0 = checkpoint default).
+	Epochs int
+	// Interval pauses between pre-copy epochs (0 = back-to-back).
+	Interval time.Duration
+}
+
+// WarmOptions groups the warm-standby readiness daemon knobs.
+type WarmOptions struct {
+	// Enabled arms the warm-standby readiness daemon: between updates a
+	// background loop keeps per-process shadow buffers continuously
+	// current against the soft-dirty bits (low-rate pre-copy epochs with
+	// duty-cycle backpressure) and a warm conservative analysis
+	// incrementally revalidated against the memory delta counters. Update
+	// then skips the in-call pre-copy/speculation phases entirely — the
+	// request starts at quiescence — and runs only the handoff epoch and
+	// per-process validation inside the window. While warm, Precopy is
+	// subsumed (the daemon's epochs replace the in-call loop). Transfer
+	// results stay bit-identical warm or cold.
+	Enabled bool
+	// Interval paces the daemon's warm passes (0 = daemon default).
+	Interval time.Duration
+	// DutyCycle bounds the fraction of wall clock the warm daemon may
+	// spend doing warm work (0 = daemon default, 0.25). The knob the
+	// live-traffic overhead harness sweeps: lower settings cost the
+	// serving workload less and let the shadows lag further behind.
+	DutyCycle float64
+}
+
+// CanaryOptions groups the post-commit canary window knobs.
+type CanaryOptions struct {
+	// Enabled declares that this engine will arm a canary (ArmCanary
+	// supplies the SLO and sample source at run time and sets it
+	// implicitly). Validate rejects pacing fields without it.
+	Enabled bool
+	// Window is how long a committed update stays revertible when a
+	// canary is armed (default 250ms): the old instance is held quiesced
+	// and adoptable while the live workload drives the new version, and
+	// an SLO breach rolls back to it.
+	Window time.Duration
+	// Interval paces the canary monitor's SLO evaluation ticks
+	// (default 25ms).
+	Interval time.Duration
+	// Grace is how many initial monitor intervals are exempt from
+	// breaching (default 2; negative = none): requests that blocked
+	// across the update's quiesce complete just after commit with latency
+	// roughly equal to the downtime, which is the old version's cost, not
+	// the new version's behavior.
+	Grace int
+}
+
+// WatchdogOptions groups the per-phase deadline watchdog and rollback
+// audit knobs.
+type WatchdogOptions struct {
+	// PhaseDeadlines is the per-phase watchdog budget table (keys are the
+	// WD* phase names). nil selects DefaultPhaseDeadlines(). A phase
+	// exceeding its budget is aborted — the pipeline cancel fires,
+	// injected stalls release, and the update rolls back with
+	// RollbackCause "deadline:<phase>". To run without a watchdog set
+	// Disable; a non-nil empty map is rejected by Validate as ambiguous.
+	PhaseDeadlines map[string]time.Duration
+	// Disable turns the watchdog off entirely (no phase budgets).
+	Disable bool
+	// VerifyRollback arms the rollback bit-identity audit: the old
+	// instance's state digest is captured at quiescence and recomputed
+	// just before it resumes from any rollback (pre-commit or canary
+	// revert); UpdateReport.RollbackVerified/RollbackIdentical report the
+	// comparison. Costs one full-state digest per update; meant for
+	// harnesses and the fault campaign.
+	VerifyRollback bool
+}
+
+// Options configures the engine. The update-path knobs are grouped by
+// subsystem (Transfer, Precopy, Warm, Canary, Watchdog); incoherent
+// combinations are rejected by Validate, which NewEngine runs. Use
+// DefaultOptions / AuditOptions as starting points.
 type Options struct {
 	// Policy is the tracing opacity policy (default: the paper's).
 	Policy types.Policy
+	// PolicySet marks Policy as explicitly provided (a zero Policy is the
+	// fully-precise ablation).
+	PolicySet bool
 	// TransferLibs opts specific shared libraries into state transfer.
 	TransferLibs map[string]bool
 	// Instr is the instrumentation level for launched instances
@@ -54,103 +169,92 @@ type Options struct {
 	// RegionInstrumented enables custom-allocator instrumentation
 	// (nginxreg).
 	RegionInstrumented bool
-	// DisableDirtyFilter transfers all state, ignoring soft-dirty bits
-	// (ablation).
-	DisableDirtyFilter bool
-	// Parallelism is the per-process state-transfer worker count
-	// (0 = GOMAXPROCS, 1 = sequential); see trace.Options.Parallelism.
-	Parallelism int
-	// Precopy arms the incremental pre-copy checkpoint engine: before
-	// the CHECKPOINT quiesce, a snapshotter runs bounded pre-copy epochs
-	// over the still-serving old version, shadowing dirty objects so the
-	// downtime copy only reads the dirty working set from live memory.
-	// Results are bit-identical with or without pre-copy.
-	Precopy bool
-	// PrecopyEpochs bounds the pre-copy epoch loop (0 = checkpoint
-	// default). Only meaningful with Precopy.
-	PrecopyEpochs int
-	// PrecopyInterval pauses between pre-copy epochs (0 = back-to-back).
-	PrecopyInterval time.Duration
 	// Sequential disables the pipelined engine and runs every update
 	// phase strictly in order (pre-copy, quiesce, analysis, restart,
 	// transfer) — the downtime-ablation baseline. The default (pipelined)
 	// engine overlaps the independent phases and produces bit-identical
 	// results.
 	Sequential bool
-	// Warm arms the warm-standby readiness daemon: between updates a
-	// background loop keeps per-process shadow buffers continuously
-	// current against the soft-dirty bits (low-rate pre-copy epochs with
-	// duty-cycle backpressure) and a warm conservative analysis
-	// incrementally revalidated against the memory delta counters. Update
-	// then skips the in-call pre-copy/speculation phases entirely — the
-	// request starts at quiescence — and runs only the handoff epoch and
-	// per-process validation inside the window. While warm, Precopy is
-	// subsumed (the daemon's epochs replace the in-call loop). Transfer
-	// results stay bit-identical warm or cold.
-	Warm bool
-	// WarmInterval paces the daemon's warm passes (0 = daemon default).
-	// Only meaningful with Warm.
-	WarmInterval time.Duration
-	// WarmDutyCycle bounds the fraction of wall clock the warm daemon may
-	// spend doing warm work (0 = daemon default, 0.25). The knob the
-	// live-traffic overhead harness sweeps: lower settings cost the
-	// serving workload less and let the shadows lag further behind.
-	// Only meaningful with Warm.
-	WarmDutyCycle float64
-	// VerifyTransfer enables the transfer's shadow-verification checksum:
-	// every byte served from a pre-copy shadow is cross-checked against
-	// the quiesced live memory it stands in for, and Stats.Checksum
-	// digests the full transferred stream (FNV-64a per object, combined
-	// order-independently). A stale shadow fails the update instead of
-	// committing corrupt state. Costs one extra locked read per
-	// shadow-served object; meant for harnesses and audits.
-	VerifyTransfer bool
 	// BeforeQuiesce, when set, is invoked after the pre-copy epochs (if
 	// any) and immediately before quiescence begins — the last moment the
 	// old version's state can change. Operators can log or snapshot here;
 	// the downtime harness injects residual writes to exercise the
 	// handoff epoch deterministically.
 	BeforeQuiesce func(old *program.Instance)
-	// CanaryWindow is how long a committed update stays revertible when a
-	// canary is armed (default 250ms): the old instance is held quiesced
-	// and adoptable while the live workload drives the new version, and
-	// an SLO breach rolls back to it. Only meaningful after ArmCanary.
-	CanaryWindow time.Duration
-	// CanaryInterval paces the canary monitor's SLO evaluation ticks
-	// (default 25ms).
-	CanaryInterval time.Duration
-	// CanaryGrace is how many initial monitor intervals are exempt from
-	// breaching (default 2; negative = none): requests that blocked
-	// across the update's quiesce complete just after commit with latency
-	// roughly equal to the downtime, which is the old version's cost, not
-	// the new version's behavior.
-	CanaryGrace int
-	// PhaseDeadlines is the per-phase watchdog budget table (keys are the
-	// WD* phase names). nil selects DefaultPhaseDeadlines(); an explicitly
-	// empty map disables the watchdog. A phase exceeding its budget is
-	// aborted — the pipeline cancel fires, injected stalls release, and
-	// the update rolls back with RollbackCause "deadline:<phase>".
-	PhaseDeadlines map[string]time.Duration
 	// Faults, when set, is the fault-injection plane every update-path
 	// seam consults (see internal/faultinject). nil — the production
 	// configuration — costs one pointer check per point.
 	Faults *faultinject.Plane
-	// VerifyRollback arms the rollback bit-identity audit: the old
-	// instance's state digest is captured at quiescence and recomputed
-	// just before it resumes from any rollback (pre-commit or canary
-	// revert); UpdateReport.RollbackVerified/RollbackIdentical report the
-	// comparison. Costs one full-state digest per update; meant for
-	// harnesses and the fault campaign.
-	VerifyRollback bool
-	// PolicySet marks Policy as explicitly provided (a zero Policy is the
-	// fully-precise ablation).
-	PolicySet bool
 	// Recorder, when set, is the flight recorder every subsystem emits
 	// phase events into: engine phases on the engine track, the old-side
 	// pipeline (handoff epoch, discovery, copy) on the transfer track,
 	// warm-daemon passes on the daemon track, and the canary window on
 	// its own track. A nil recorder costs one pointer check per phase.
 	Recorder *obs.Recorder
+
+	// Transfer configures the REMAP state transfer.
+	Transfer TransferOptions
+	// Precopy configures the incremental pre-copy checkpoint.
+	Precopy PrecopyOptions
+	// Warm configures the warm-standby readiness daemon.
+	Warm WarmOptions
+	// Canary configures the post-commit canary window.
+	Canary CanaryOptions
+	// Watchdog configures the per-phase deadline watchdog and the
+	// rollback audit.
+	Watchdog WatchdogOptions
+}
+
+// DefaultOptions returns the recommended configuration: the pipelined
+// engine with the zero-copy page-adoption fast path armed and every
+// subsystem at its built-in default.
+func DefaultOptions() Options {
+	return Options{Transfer: TransferOptions{Adopt: true}}
+}
+
+// AuditOptions returns DefaultOptions with both verifiers armed: the
+// transfer's shadow-verification checksum and the rollback bit-identity
+// audit. The configuration harnesses and campaigns should run under.
+func AuditOptions() Options {
+	o := DefaultOptions()
+	o.Transfer.VerifyTransfer = true
+	o.Watchdog.VerifyRollback = true
+	return o
+}
+
+// Validate rejects incoherent option combinations that earlier versions
+// silently ignored. NewEngine calls it and returns the error.
+func (o *Options) Validate() error {
+	if o.Transfer.Parallelism < 0 {
+		return fmt.Errorf("core: Transfer.Parallelism must be >= 0, got %d", o.Transfer.Parallelism)
+	}
+	if !o.Precopy.Enabled && (o.Precopy.Epochs != 0 || o.Precopy.Interval != 0) {
+		return errors.New("core: Precopy.Epochs/Interval set without Precopy.Enabled")
+	}
+	if o.Precopy.Epochs < 0 {
+		return fmt.Errorf("core: Precopy.Epochs must be >= 0, got %d", o.Precopy.Epochs)
+	}
+	if !o.Warm.Enabled && (o.Warm.Interval != 0 || o.Warm.DutyCycle != 0) {
+		return errors.New("core: Warm.Interval/DutyCycle set without Warm.Enabled")
+	}
+	if o.Warm.DutyCycle < 0 || o.Warm.DutyCycle > 1 {
+		return fmt.Errorf("core: Warm.DutyCycle must be in [0,1], got %g", o.Warm.DutyCycle)
+	}
+	if !o.Canary.Enabled && (o.Canary.Window != 0 || o.Canary.Interval != 0 || o.Canary.Grace != 0) {
+		return errors.New("core: Canary.Window/Interval/Grace set without Canary.Enabled")
+	}
+	if o.Watchdog.Disable && len(o.Watchdog.PhaseDeadlines) > 0 {
+		return errors.New("core: Watchdog.Disable set alongside Watchdog.PhaseDeadlines")
+	}
+	if o.Watchdog.PhaseDeadlines != nil && len(o.Watchdog.PhaseDeadlines) == 0 && !o.Watchdog.Disable {
+		return errors.New("core: empty Watchdog.PhaseDeadlines is ambiguous (nil selects the default profile); set Watchdog.Disable to run without a watchdog")
+	}
+	for ph := range o.Watchdog.PhaseDeadlines {
+		if _, ok := DefaultPhaseDeadlines()[ph]; !ok {
+			return fmt.Errorf("core: Watchdog.PhaseDeadlines: unknown phase %q", ph)
+		}
+	}
+	return nil
 }
 
 func (o *Options) fill() {
@@ -166,17 +270,19 @@ func (o *Options) fill() {
 	if o.StartupTimeout == 0 {
 		o.StartupTimeout = 10 * time.Second
 	}
-	if o.CanaryWindow == 0 {
-		o.CanaryWindow = 250 * time.Millisecond
+	if o.Canary.Window == 0 {
+		o.Canary.Window = 250 * time.Millisecond
 	}
-	if o.CanaryInterval == 0 {
-		o.CanaryInterval = 25 * time.Millisecond
+	if o.Canary.Interval == 0 {
+		o.Canary.Interval = 25 * time.Millisecond
 	}
-	if o.CanaryGrace == 0 {
-		o.CanaryGrace = 2
+	if o.Canary.Grace == 0 {
+		o.Canary.Grace = 2
 	}
-	if o.PhaseDeadlines == nil {
-		o.PhaseDeadlines = DefaultPhaseDeadlines()
+	if o.Watchdog.Disable {
+		o.Watchdog.PhaseDeadlines = map[string]time.Duration{}
+	} else if o.Watchdog.PhaseDeadlines == nil {
+		o.Watchdog.PhaseDeadlines = DefaultPhaseDeadlines()
 	}
 }
 
@@ -247,6 +353,12 @@ type UpdateReport struct {
 
 	preDigest uint64 // quiesce-time trace.StateDigest of the old instance (VerifyRollback)
 
+	// ledger tracks the page frames the transfer moved out of the old
+	// instance (Transfer.Adopt): rollback returns them, a canary window
+	// copies their contents back at open, and a plain commit drops the
+	// records. Nil unless adoption is armed.
+	ledger *mem.AdoptLedger
+
 	// Canary reports the update committed into a canary window instead of
 	// finalizing immediately. CanaryOutcome is "open" while the window is
 	// running and settles to "finalized" or "reverted"; the canary and
@@ -291,10 +403,14 @@ type Engine struct {
 	canaryFinal   canary.MonitorStatus
 }
 
-// NewEngine builds an engine over the shared kernel.
-func NewEngine(k *kernel.Kernel, opts Options) *Engine {
+// NewEngine builds an engine over the shared kernel. It validates opts
+// (see Options.Validate) and rejects incoherent combinations.
+func NewEngine(k *kernel.Kernel, opts Options) (*Engine, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts.fill()
-	return &Engine{kern: k, opts: opts, warmOn: opts.Warm}
+	return &Engine{kern: k, opts: opts, warmOn: opts.Warm.Enabled}, nil
 }
 
 // Kernel returns the engine's kernel.
@@ -374,8 +490,8 @@ func (e *Engine) newDaemonLocked() *checkpoint.Daemon {
 	return checkpoint.StartDaemon(e.current,
 		trace.NewWarmAnalysis(e.opts.Policy, e.opts.TransferLibs),
 		checkpoint.DaemonOptions{
-			Interval:  e.opts.WarmInterval,
-			DutyCycle: e.opts.WarmDutyCycle,
+			Interval:  e.opts.Warm.Interval,
+			DutyCycle: e.opts.Warm.DutyCycle,
 			Recorder:  e.opts.Recorder,
 			Faults:    e.opts.Faults,
 		})
@@ -388,8 +504,8 @@ func (e *Engine) newDaemonLocked() *checkpoint.Daemon {
 func (e *Engine) SetWarmPacing(interval time.Duration, dutyCycle float64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.opts.WarmInterval = interval
-	e.opts.WarmDutyCycle = dutyCycle
+	e.opts.Warm.Interval = interval
+	e.opts.Warm.DutyCycle = dutyCycle
 }
 
 // SetPhaseDeadlines replaces the per-phase watchdog budget table for
@@ -404,7 +520,7 @@ func (e *Engine) SetPhaseDeadlines(deadlines map[string]time.Duration) {
 	if deadlines == nil {
 		deadlines = DefaultPhaseDeadlines()
 	}
-	e.opts.PhaseDeadlines = deadlines
+	e.opts.Watchdog.PhaseDeadlines = deadlines
 }
 
 // stopAndDiscard halts a daemon and discards its checkpoint, handing
@@ -579,6 +695,9 @@ func (e *Engine) Update(v2 *program.Version) (*UpdateReport, error) {
 		e.mu.Unlock()
 	}
 	rep := &UpdateReport{}
+	if e.opts.Transfer.Adopt {
+		rep.ledger = &mem.AdoptLedger{}
+	}
 	start := time.Now()
 	// The update span is registered before the bookkeeping defer so its End
 	// runs last (defer LIFO) and the span covers the full request. It ends
@@ -613,7 +732,7 @@ func (e *Engine) Update(v2 *program.Version) (*UpdateReport, error) {
 	// The watchdog monitors this attempt's phase budgets and owns the
 	// pipeline cancel channel; the stop join runs before the bookkeeping
 	// defer so no monitor goroutine outlives its update.
-	wd := newWatchdog(e.opts.PhaseDeadlines, e.opts.Faults, e.opts.Recorder)
+	wd := newWatchdog(e.opts.Watchdog.PhaseDeadlines, e.opts.Faults, e.opts.Recorder)
 	defer wd.stop()
 	if e.opts.Sequential {
 		return e.updateSequential(old, v2, rep, warm, wd)
@@ -629,14 +748,14 @@ func (e *Engine) Update(v2 *program.Version) (*UpdateReport, error) {
 // back on any outcome (rollback needs them for the next attempt; after
 // commit the old instance is gone and re-marking is harmless).
 func (e *Engine) precopy(old *program.Instance, rep *UpdateReport) *checkpoint.Snapshotter {
-	if !e.opts.Precopy {
+	if !e.opts.Precopy.Enabled {
 		return nil
 	}
 	pcStart := time.Now()
 	sp := e.opts.Recorder.Span(obs.TrackEngine, obs.PhasePrecopy)
 	snap := checkpoint.New(old, checkpoint.Options{
-		MaxEpochs: e.opts.PrecopyEpochs,
-		Interval:  e.opts.PrecopyInterval,
+		MaxEpochs: e.opts.Precopy.Epochs,
+		Interval:  e.opts.Precopy.Interval,
 		Recorder:  e.opts.Recorder,
 		Faults:    e.opts.Faults,
 	})
@@ -685,7 +804,7 @@ func (e *Engine) restart(old *program.Instance, v2 *program.Version,
 	// a successful startup — any trip ends in rollback, which terminates
 	// the new instance anyway.
 	wd.onTrip(func() {
-		newInst.Fail(&DeadlineError{Phase: WDRestart, Budget: e.opts.PhaseDeadlines[WDRestart]})
+		newInst.Fail(&DeadlineError{Phase: WDRestart, Budget: e.opts.Watchdog.PhaseDeadlines[WDRestart]})
 	})
 	if err := newInst.Start(); err != nil {
 		return newInst, err
@@ -755,6 +874,11 @@ func (e *Engine) commit(old, newInst *program.Instance, rep *UpdateReport) error
 	if e.openCanary(old, newInst, rep) {
 		return nil
 	}
+	// Immediate finalization: the old instance will never be re-adopted,
+	// so the adopted frames' provenance records can be dropped.
+	if rep.ledger != nil {
+		rep.ledger.Forget()
+	}
 	old.Terminate()
 	// Finalization releases the pid side of global separability: the old
 	// id space no longer needs protecting once the old instance can never
@@ -769,14 +893,18 @@ func (e *Engine) commit(old, newInst *program.Instance, rep *UpdateReport) error
 
 // transferOptions builds the trace options both engines share. cancel is
 // the update's watchdog-owned pipeline cancel, so a deadline trip drains
-// both engines' transfer work identically.
-func (e *Engine) transferOptions(snap *checkpoint.Snapshotter, cancel <-chan struct{}) trace.Options {
+// both engines' transfer work identically. rep carries the update's
+// adoption ledger (nil unless Transfer.Adopt), which records every donated
+// page frame so rollback and the canary window can make the old side whole.
+func (e *Engine) transferOptions(snap *checkpoint.Snapshotter, cancel <-chan struct{}, rep *UpdateReport) trace.Options {
 	topts := trace.Options{
 		Policy:             e.opts.Policy,
 		TransferLibs:       e.opts.TransferLibs,
-		DisableDirtyFilter: e.opts.DisableDirtyFilter,
-		Parallelism:        e.opts.Parallelism,
-		VerifyShadows:      e.opts.VerifyTransfer,
+		DisableDirtyFilter: e.opts.Transfer.DisableDirtyFilter,
+		Parallelism:        e.opts.Transfer.Parallelism,
+		VerifyShadows:      e.opts.Transfer.VerifyTransfer,
+		Adopt:              e.opts.Transfer.Adopt,
+		Ledger:             rep.ledger,
 		Recorder:           e.opts.Recorder,
 		Faults:             e.opts.Faults,
 		Cancel:             cancel,
@@ -791,7 +919,7 @@ func (e *Engine) transferOptions(snap *checkpoint.Snapshotter, cancel <-chan str
 // it resumes from a rollback and compares it against the quiesce-time
 // capture (Options.VerifyRollback).
 func (e *Engine) auditRollback(old *program.Instance, rep *UpdateReport) {
-	if !e.opts.VerifyRollback || rep.preDigest == 0 {
+	if !e.opts.Watchdog.VerifyRollback || rep.preDigest == 0 {
 		return
 	}
 	d, err := trace.StateDigest(old)
@@ -803,7 +931,7 @@ func (e *Engine) auditRollback(old *program.Instance, rep *UpdateReport) {
 // the rollback audit; both engines call it right after quiescence, while
 // nothing else is reading or writing the old side.
 func (e *Engine) captureDigest(old *program.Instance, rep *UpdateReport) {
-	if !e.opts.VerifyRollback {
+	if !e.opts.Watchdog.VerifyRollback {
 		return
 	}
 	if d, err := trace.StateDigest(old); err == nil {
@@ -916,7 +1044,7 @@ func (e *Engine) updateSequential(old *program.Instance, v2 *program.Version, re
 	// discovery with RESTART. ----------------------------------------
 	wd.enter(WDTransfer)
 	dscStart := time.Now()
-	disc, err := trace.DiscoverInstance(old, e.transferOptions(snap, wd.cancel))
+	disc, err := trace.DiscoverInstance(old, e.transferOptions(snap, wd.cancel, rep))
 	if err != nil {
 		wd.exit()
 		return rep, e.rollback(old, newInst, rep, wd.wrap(err))
@@ -1052,7 +1180,7 @@ func (e *Engine) updatePipelined(old *program.Instance, v2 *program.Version, rep
 
 	// --- old-side pipeline: handoff epoch, then discovery — overlapped
 	// with analysis resolution and RESTART below ----------------------
-	topts := e.transferOptions(snap, wd.cancel)
+	topts := e.transferOptions(snap, wd.cancel, rep)
 	var (
 		disc     *trace.InstanceDiscovery
 		derr     error
@@ -1175,6 +1303,15 @@ func (e *Engine) updatePipelined(old *program.Instance, v2 *program.Version, rep
 func (e *Engine) rollback(old, new *program.Instance, rep *UpdateReport, cause error) error {
 	sp := e.opts.Recorder.Span(obs.TrackEngine, obs.PhaseRollback)
 	e.opts.Recorder.Metrics().Counter("core.rollbacks").Add(1)
+	// Adopted page frames go home first — before the new instance is
+	// terminated and before the rollback audit digests the old side — so
+	// the old instance resumes with every donated frame back in place and
+	// its original dirty accounting restored.
+	if rep.ledger != nil {
+		if rerr := rep.ledger.ReturnAll(); rerr != nil {
+			cause = fmt.Errorf("%w; adopted-frame return: %v", cause, rerr)
+		}
+	}
 	if new != nil {
 		new.Terminate()
 	}

@@ -176,7 +176,10 @@ func echodIterate(t *program.Thread, banner string) error {
 func launchEchod(t *testing.T, opts Options) (*Engine, *kernel.Kernel) {
 	t.Helper()
 	k := kernel.New()
-	e := NewEngine(k, opts)
+	e, err := NewEngine(k, opts)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
 	if _, err := e.Launch(echodVersion("1.0", 0, "v1", false, 7000)); err != nil {
 		t.Fatalf("Launch: %v", err)
 	}
@@ -391,7 +394,10 @@ func TestControllerProtocol(t *testing.T) {
 }
 
 func TestUpdateWithoutLaunchFails(t *testing.T) {
-	e := NewEngine(kernel.New(), Options{})
+	e, err := NewEngine(kernel.New(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := e.Update(echodVersion("2.0", 1, "v2", true, 7000)); !errors.Is(err, ErrNotRunning) {
 		t.Errorf("err = %v, want ErrNotRunning", err)
 	}

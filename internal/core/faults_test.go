@@ -15,9 +15,9 @@ import (
 // transfer, verified rollback, and the given plane.
 func faultOpts(p *faultinject.Plane) Options {
 	return Options{
-		VerifyTransfer: true,
-		VerifyRollback: true,
-		Faults:         p,
+		Transfer: TransferOptions{VerifyTransfer: true},
+		Watchdog: WatchdogOptions{VerifyRollback: true},
+		Faults:   p,
 	}
 }
 
@@ -74,13 +74,13 @@ func TestInjectedFaultsRollBackWithCause(t *testing.T) {
 		{
 			name:      "epoch-fail",
 			point:     faultinject.PointEpochFail,
-			opts:      func(o Options) Options { o.Precopy = true; return o },
+			opts:      func(o Options) Options { o.Precopy.Enabled = true; return o },
 			wantCause: "fault:epoch-fail",
 		},
 		{
 			name:      "epoch-fail-sequential",
 			point:     faultinject.PointEpochFail,
-			opts:      func(o Options) Options { o.Precopy = true; o.Sequential = true; return o },
+			opts:      func(o Options) Options { o.Precopy.Enabled = true; o.Sequential = true; return o },
 			wantCause: "fault:epoch-fail",
 		},
 	}
@@ -172,7 +172,7 @@ func TestWatchdogRecoversHungRestart(t *testing.T) {
 			opts := faultOpts(plane)
 			opts.Sequential = seq
 			opts.StartupTimeout = 5 * time.Minute // watchdog must win, not this
-			opts.PhaseDeadlines = map[string]time.Duration{WDRestart: 150 * time.Millisecond}
+			opts.Watchdog.PhaseDeadlines = map[string]time.Duration{WDRestart: 150 * time.Millisecond}
 			e, k := launchEchod(t, opts)
 			defer e.Shutdown()
 			c1, err := k.Connect(7000)
@@ -222,7 +222,7 @@ func TestWatchdogRecoversHungRestart(t *testing.T) {
 func TestWatchdogRecoversStalledTransfer(t *testing.T) {
 	plane := faultinject.New(1)
 	opts := faultOpts(plane)
-	opts.PhaseDeadlines = map[string]time.Duration{WDTransfer: 150 * time.Millisecond}
+	opts.Watchdog.PhaseDeadlines = map[string]time.Duration{WDTransfer: 150 * time.Millisecond}
 	e, k := launchEchod(t, opts)
 	defer e.Shutdown()
 	c1, err := k.Connect(7000)
@@ -260,7 +260,7 @@ func TestWatchdogRecoversStalledTransfer(t *testing.T) {
 func TestTransferCorruptionCaughtByVerifier(t *testing.T) {
 	plane := faultinject.New(7)
 	opts := faultOpts(plane)
-	opts.Precopy = true
+	opts.Precopy.Enabled = true
 	e, k := launchEchod(t, opts)
 	defer e.Shutdown()
 	c1, err := k.Connect(7000)
@@ -301,8 +301,7 @@ func TestTransferCorruptionCaughtByVerifier(t *testing.T) {
 func TestDaemonStallPoisonsAdoptedCheckpoint(t *testing.T) {
 	plane := faultinject.New(1)
 	opts := faultOpts(plane)
-	opts.Warm = true
-	opts.WarmInterval = 200 * time.Microsecond
+	opts.Warm = WarmOptions{Enabled: true, Interval: 200 * time.Microsecond}
 	e, k := launchEchod(t, opts)
 	defer e.Shutdown()
 	c1, err := k.Connect(7000)
@@ -433,7 +432,7 @@ func TestCanaryMonitorDeathFailsafe(t *testing.T) {
 // panic or double-resolve — it simply satisfies the next wait (the same
 // collapse rule resolveCanary applies to a deadline racing a breach).
 func TestWaitLateCompletionIsBenign(t *testing.T) {
-	e, k := launchEchod(t, Options{Warm: true, WarmInterval: 200 * time.Microsecond})
+	e, k := launchEchod(t, Options{Warm: WarmOptions{Enabled: true, Interval: 200 * time.Microsecond}})
 	defer e.Shutdown()
 	c1, err := k.Connect(7000)
 	if err != nil {
@@ -479,7 +478,7 @@ func TestWaitLateCompletionIsBenign(t *testing.T) {
 // the default profile, an explicitly empty map turns the watchdog off
 // (and an update still runs normally with no monitor goroutine).
 func TestWatchdogDisabledByEmptyMap(t *testing.T) {
-	e, k := launchEchod(t, Options{PhaseDeadlines: map[string]time.Duration{}})
+	e, k := launchEchod(t, Options{Watchdog: WatchdogOptions{Disable: true}})
 	defer e.Shutdown()
 	c1, err := k.Connect(7000)
 	if err != nil {

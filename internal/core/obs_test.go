@@ -52,34 +52,34 @@ func TestUpdatePhaseOrdering(t *testing.T) {
 	}{
 		{
 			name:       "sequential",
-			opts:       Options{Sequential: true, Precopy: true, VerifyTransfer: true},
+			opts:       Options{Sequential: true, Precopy: PrecopyOptions{Enabled: true}, Transfer: TransferOptions{VerifyTransfer: true}},
 			wantEngine: []string{obs.PhaseUpdate, obs.PhasePrecopy, obs.PhaseQuiesce, obs.PhaseAnalyze, obs.PhaseRestart, obs.PhaseRemap, obs.PhaseCommit},
 		},
 		{
 			name:       "pipelined",
-			opts:       Options{Precopy: true, VerifyTransfer: true},
+			opts:       Options{Precopy: PrecopyOptions{Enabled: true}, Transfer: TransferOptions{VerifyTransfer: true}},
 			wantEngine: []string{obs.PhaseUpdate, obs.PhasePrecopy, obs.PhaseSpeculate, obs.PhaseQuiesce, obs.PhaseValidate, obs.PhaseRestart, obs.PhaseRemap, obs.PhaseCommit},
 		},
 		{
 			name:       "warm",
-			opts:       Options{Warm: true, WarmInterval: 200 * time.Microsecond, VerifyTransfer: true},
+			opts:       Options{Warm: WarmOptions{Enabled: true, Interval: 200 * time.Microsecond}, Transfer: TransferOptions{VerifyTransfer: true}},
 			wantEngine: []string{obs.PhaseUpdate, obs.PhaseQuiesce, obs.PhaseValidate, obs.PhaseRestart, obs.PhaseRemap, obs.PhaseCommit},
 		},
 		{
 			name:       "canary-accept",
-			opts:       Options{VerifyTransfer: true},
+			opts:       Options{Transfer: TransferOptions{VerifyTransfer: true}},
 			canary:     "finalized",
 			wantEngine: []string{obs.PhaseUpdate, obs.PhaseSpeculate, obs.PhaseQuiesce, obs.PhaseValidate, obs.PhaseRestart, obs.PhaseRemap, obs.PhaseCommit},
 		},
 		{
 			name:       "canary-revert",
-			opts:       Options{VerifyTransfer: true},
+			opts:       Options{Transfer: TransferOptions{VerifyTransfer: true}},
 			canary:     "reverted",
 			wantEngine: []string{obs.PhaseUpdate, obs.PhaseSpeculate, obs.PhaseQuiesce, obs.PhaseValidate, obs.PhaseRestart, obs.PhaseRemap, obs.PhaseCommit},
 		},
 		{
 			name:         "rollback-mid-update",
-			opts:         Options{VerifyTransfer: true},
+			opts:         Options{Transfer: TransferOptions{VerifyTransfer: true}},
 			conflictPort: true,
 			wantEngine:   []string{obs.PhaseUpdate, obs.PhaseSpeculate, obs.PhaseQuiesce, obs.PhaseValidate, obs.PhaseRestart, obs.PhaseRollback},
 		},
@@ -117,7 +117,7 @@ func TestUpdatePhaseOrdering(t *testing.T) {
 					}
 				}
 			}
-			if tc.opts.Warm && !e.WarmWait(5*time.Second) {
+			if tc.opts.Warm.Enabled && !e.WarmWait(5*time.Second) {
 				t.Fatal("warm daemon never became current")
 			}
 
@@ -290,7 +290,7 @@ func TestControllerEventsCommand(t *testing.T) {
 	}
 
 	rec := obs.New(0)
-	e, _ := launchEchod(t, Options{Recorder: rec, VerifyTransfer: true})
+	e, _ := launchEchod(t, Options{Recorder: rec, Transfer: TransferOptions{VerifyTransfer: true}})
 	defer e.Shutdown()
 	c := NewController(e, "/run/mcr.sock")
 	c.Stage(echodVersion("2.0", 1, "v2", true, 7000))

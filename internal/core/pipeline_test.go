@@ -59,7 +59,7 @@ func TestPipelinedMatchesSequential(t *testing.T) {
 	}
 	drive := func(sequential bool) run {
 		t.Helper()
-		e, k := launchEchod(t, Options{Sequential: sequential, Precopy: true})
+		e, k := launchEchod(t, Options{Sequential: sequential, Precopy: PrecopyOptions{Enabled: true}})
 		t.Cleanup(e.Shutdown)
 		c1, err := k.Connect(7000)
 		if err != nil {
@@ -109,7 +109,7 @@ func TestPipelinedMatchesSequential(t *testing.T) {
 // epoch ran, every copied byte came off the critical path, and the
 // downtime window is measured.
 func TestPipelinedReportBreakdown(t *testing.T) {
-	e, k := launchEchod(t, Options{Precopy: true})
+	e, k := launchEchod(t, Options{Precopy: PrecopyOptions{Enabled: true}})
 	defer e.Shutdown()
 	cc, _ := k.Connect(7000)
 	sendRecv(t, cc, "a")
@@ -147,7 +147,7 @@ func TestPipelinedReportBreakdown(t *testing.T) {
 // write lands before or after the concurrent capture — both outcomes are
 // valid; the delta logic itself is pinned in trace.TestSpeculateResolve.)
 func TestBeforeQuiesceResidualHitsFinalEpoch(t *testing.T) {
-	opts := Options{Precopy: true}
+	opts := Options{Precopy: PrecopyOptions{Enabled: true}}
 	opts.BeforeQuiesce = func(old *program.Instance) {
 		root := old.Root()
 		g := root.MustGlobal("conf")
@@ -189,7 +189,7 @@ func TestBeforeQuiesceResidualHitsFinalEpoch(t *testing.T) {
 // bit, and leave the old instance serving — then a follow-up update must
 // still carry the full session state.
 func TestPipelinedRollbackMidRestart(t *testing.T) {
-	e, k := launchEchod(t, Options{Precopy: true})
+	e, k := launchEchod(t, Options{Precopy: PrecopyOptions{Enabled: true}})
 	defer e.Shutdown()
 	cc, _ := k.Connect(7000)
 	if got := sendRecv(t, cc, "a"); got != "v1:a:1" {

@@ -11,7 +11,7 @@ import (
 // the copied bytes must come from shadows, and the carried session state
 // must be exactly what a plain update would carry.
 func TestPrecopyUpdateEndToEnd(t *testing.T) {
-	e, k := launchEchod(t, Options{Precopy: true})
+	e, k := launchEchod(t, Options{Precopy: PrecopyOptions{Enabled: true}})
 	defer e.Shutdown()
 
 	c1, err := k.Connect(7000)
@@ -59,7 +59,7 @@ func TestPrecopyMatchesPlainUpdate(t *testing.T) {
 	}
 	run := func(precopy bool) outcome {
 		t.Helper()
-		e, k := launchEchod(t, Options{Precopy: precopy})
+		e, k := launchEchod(t, Options{Precopy: PrecopyOptions{Enabled: precopy}})
 		defer e.Shutdown()
 		cc, err := k.Connect(7000)
 		if err != nil {
@@ -93,7 +93,7 @@ func TestPrecopyMatchesPlainUpdate(t *testing.T) {
 // follow-up update still has to see (and carry) the full dirty session
 // state.
 func TestPrecopyRollbackRestoresDirtyState(t *testing.T) {
-	e, k := launchEchod(t, Options{Precopy: true})
+	e, k := launchEchod(t, Options{Precopy: PrecopyOptions{Enabled: true}})
 	defer e.Shutdown()
 	cc, _ := k.Connect(7000)
 	if got := sendRecv(t, cc, "a"); got != "v1:a:1" {
@@ -130,8 +130,8 @@ func TestPrecopyRollbackRestoresDirtyState(t *testing.T) {
 // TestPrecopyEpochBound pins the PrecopyEpochs option: the epoch loop
 // never exceeds the configured bound.
 func TestPrecopyEpochBound(t *testing.T) {
-	e, k := launchEchod(t, Options{Precopy: true, PrecopyEpochs: 1,
-		PrecopyInterval: time.Millisecond})
+	e, k := launchEchod(t, Options{Precopy: PrecopyOptions{Enabled: true, Epochs: 1,
+		Interval: time.Millisecond}})
 	defer e.Shutdown()
 	cc, _ := k.Connect(7000)
 	sendRecv(t, cc, "a")

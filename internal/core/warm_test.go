@@ -16,8 +16,7 @@ import (
 // interval and waits until it has caught up with startup traffic.
 func warmEchod(t *testing.T, opts Options) (*Engine, *kernel.Kernel) {
 	t.Helper()
-	opts.Warm = true
-	opts.WarmInterval = 200 * time.Microsecond
+	opts.Warm = WarmOptions{Enabled: true, Interval: 200 * time.Microsecond}
 	e, k := launchEchod(t, opts)
 	if !e.WarmWait(10 * time.Second) {
 		t.Fatalf("warm daemon never caught up: %+v", e.WarmStatus())
@@ -93,12 +92,11 @@ func TestWarmMatchesColdDeterminism(t *testing.T) {
 		switch mode {
 		case "sequential":
 			opts.Sequential = true
-			opts.Precopy = true
+			opts.Precopy.Enabled = true
 		case "cold":
-			opts.Precopy = true
+			opts.Precopy.Enabled = true
 		case "warm":
-			opts.Warm = true
-			opts.WarmInterval = 200 * time.Microsecond
+			opts.Warm = WarmOptions{Enabled: true, Interval: 200 * time.Microsecond}
 		}
 		e, k := launchEchod(t, opts)
 		t.Cleanup(e.Shutdown)
@@ -346,7 +344,10 @@ func idleLoop(t *program.Thread) error {
 func TestWarmForkSkewOnlyMutatedProcsReanalyzed(t *testing.T) {
 	const children = 3
 	k := kernel.New()
-	e := NewEngine(k, Options{Warm: true, WarmInterval: 200 * time.Microsecond})
+	e, err := NewEngine(k, Options{Warm: WarmOptions{Enabled: true, Interval: 200 * time.Microsecond}})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
 	if _, err := e.Launch(forkdVersion("1.0", 0, children)); err != nil {
 		t.Fatalf("Launch: %v", err)
 	}

@@ -83,9 +83,9 @@ type watchdog struct {
 	cancel     chan struct{} // the update's pipeline cancel; see Options.Cancel
 	cancelOnce sync.Once
 
-	phaseC chan string   // nil when no monitor goroutine runs
-	quit   chan struct{}
-	done   chan struct{}
+	phaseC  chan string // nil when no monitor goroutine runs
+	quit    chan struct{}
+	done    chan struct{}
 	stopped sync.Once
 
 	mu       sync.Mutex

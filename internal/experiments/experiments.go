@@ -88,6 +88,9 @@ type Config struct {
 	// Parallelism is the state-transfer worker count applied to every
 	// engine the experiments launch (0 = trace-layer default).
 	Parallelism int
+	// Adopt arms the zero-copy page-adoption fast path on every launched
+	// engine (see core.TransferOptions.Adopt).
+	Adopt bool
 	// Precopy arms the incremental pre-copy checkpoint engine on every
 	// launched engine (see core.Options.Precopy).
 	Precopy bool
@@ -111,11 +114,16 @@ type Config struct {
 
 // options merges the run configuration into engine options.
 func (c Config) options(opts core.Options) core.Options {
-	if opts.Parallelism == 0 {
-		opts.Parallelism = c.Parallelism
+	if opts.Transfer.Parallelism == 0 {
+		opts.Transfer.Parallelism = c.Parallelism
 	}
-	opts.Precopy = c.Precopy
-	opts.PrecopyEpochs = c.PrecopyEpochs
+	if c.Adopt {
+		opts.Transfer.Adopt = true
+	}
+	if c.Precopy {
+		opts.Precopy.Enabled = true
+		opts.Precopy.Epochs = c.PrecopyEpochs
+	}
 	opts.Sequential = c.Sequential
 	return opts
 }
@@ -125,7 +133,10 @@ func launchServer(spec *servers.Spec, cfg Config, opts core.Options) (*core.Engi
 	opts = cfg.options(opts)
 	k := kernel.New()
 	servers.SeedFiles(k)
-	e := core.NewEngine(k, opts)
+	e, err := core.NewEngine(k, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: engine %s: %w", spec.Name, err)
+	}
 	if _, err := e.Launch(spec.Version(0)); err != nil {
 		return nil, nil, fmt.Errorf("experiments: launch %s: %w", spec.Name, err)
 	}

@@ -242,16 +242,17 @@ func TestDowntimePipelineBitIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 2 {
+	if len(res.Rows) != 6 {
 		t.Fatalf("rows = %d", len(res.Rows))
 	}
-	seq, pipe := res.Rows[0], res.Rows[1]
-	if !seq.Sequential || pipe.Sequential {
+	seq, pipe := res.Row("sequential"), res.Row("pipelined")
+	if seq == nil || pipe == nil || !seq.Sequential || pipe.Sequential {
 		t.Fatalf("row order wrong: %+v", res.Rows)
 	}
 	// Bit-identical transfer is the hard invariant (RunDowntime itself
-	// also enforces the checksum); the 25% downtime bar is recorded in
-	// BENCH_downtime.json, not asserted here where CI timing noise rules.
+	// also enforces the checksum, including the adoption rows); the 25%
+	// downtime bar is recorded in BENCH_downtime.json, not asserted here
+	// where CI timing noise rules.
 	if seq.StateSum != pipe.StateSum {
 		t.Errorf("state sums differ: %#x vs %#x", seq.StateSum, pipe.StateSum)
 	}
@@ -260,6 +261,19 @@ func TestDowntimePipelineBitIdentical(t *testing.T) {
 	}
 	if seq.Downtime <= 0 || pipe.Downtime <= 0 {
 		t.Errorf("downtime not measured: seq %v pipe %v", seq.Downtime, pipe.Downtime)
+	}
+	adopt := res.Row("pipelined+adopt")
+	if adopt == nil || adopt.AdoptionFraction < 0.9 {
+		t.Fatalf("adoption row missing or low: %+v", adopt)
+	}
+	if adopt.StateSum != pipe.StateSum || adopt.Checksum != pipe.Checksum {
+		t.Errorf("adoption changed the state: %+v vs %+v", adopt, pipe)
+	}
+	if typed := res.Row("typechange+adopt"); typed == nil || typed.AdoptedPages != 0 || typed.AdoptedBytes != 0 {
+		t.Errorf("type-changing control adopted pages: %+v", typed)
+	}
+	if live := res.Row("live+adopt"); live == nil || live.FailedResponses != 0 || live.LiveRequests == 0 {
+		t.Errorf("live-traffic adoption row bad: %+v", live)
 	}
 	// No writes happen during the update, so the whole analysis must be
 	// validated out of the downtime window.

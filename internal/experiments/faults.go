@@ -162,10 +162,8 @@ func faultEngine(spec *servers.Spec, cfg Config, cell FaultCell, plane *faultinj
 	rec := obs.New(1 << 14)
 	plane.AttachRecorder(rec)
 	opts := core.Options{
-		Parallelism:    cfg.Parallelism,
-		VerifyTransfer: true,
-		VerifyRollback: true,
-		WarmInterval:   200 * time.Microsecond,
+		Transfer:       core.TransferOptions{Parallelism: cfg.Parallelism, VerifyTransfer: true},
+		Watchdog:       core.WatchdogOptions{VerifyRollback: true},
 		QuiesceTimeout: 30 * time.Second,
 		StartupTimeout: 30 * time.Second,
 		Recorder:       rec,
@@ -173,12 +171,12 @@ func faultEngine(spec *servers.Spec, cfg Config, cell FaultCell, plane *faultinj
 	}
 	switch cell.Mode {
 	case "precopy":
-		opts.Precopy = true
+		opts.Precopy.Enabled = true
 	case "sequential":
 		opts.Sequential = true
 	}
 	if cell.DeadlinePhase != "" {
-		opts.PhaseDeadlines = map[string]time.Duration{cell.DeadlinePhase: cell.Deadline}
+		opts.Watchdog.PhaseDeadlines = map[string]time.Duration{cell.DeadlinePhase: cell.Deadline}
 	}
 	if cell.Point == faultinject.PointRestartHang {
 		// The acceptance cell: only the watchdog may recover the hang, so
@@ -187,7 +185,13 @@ func faultEngine(spec *servers.Spec, cfg Config, cell FaultCell, plane *faultinj
 	}
 	k := kernel.New()
 	servers.SeedFiles(k)
-	e := core.NewEngine(k, opts)
+	e, err := core.NewEngine(k, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("faults: engine %s: %w", spec.Name, err)
+	}
+	// Warm cells arm the daemon explicitly mid-campaign; the pacing goes
+	// through the mutator so Options stays coherent under Validate.
+	e.SetWarmPacing(200*time.Microsecond, 0)
 	if _, err := e.Launch(spec.Version(0)); err != nil {
 		return nil, nil, fmt.Errorf("faults: launch %s: %w", spec.Name, err)
 	}

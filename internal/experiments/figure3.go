@@ -87,7 +87,8 @@ func figure3Point(spec *servers.Spec, cfg Config, conns int) (Figure3Point, erro
 	if cfg.LiveTraffic && cfg.Precopy {
 		// Space the epochs out so the concurrent workload can re-dirty
 		// its working set between them — the regime pre-copy exists for.
-		opts.PrecopyInterval = 2 * time.Millisecond
+		opts.Precopy.Enabled = true
+		opts.Precopy.Interval = 2 * time.Millisecond
 	}
 	e, k, err := launchServer(spec, cfg, opts)
 	if err != nil {
@@ -218,9 +219,9 @@ func RunDirtyStats(cfg Config) ([]DirtyStats, error) {
 		d := DirtyStats{Name: spec.Name, Connections: conns}
 		for _, disable := range []bool{false, true} {
 			e, k, err := launchServer(spec, cfg, core.Options{
-				DisableDirtyFilter: disable,
-				QuiesceTimeout:     30 * time.Second,
-				StartupTimeout:     30 * time.Second,
+				Transfer:       core.TransferOptions{DisableDirtyFilter: disable},
+				QuiesceTimeout: 30 * time.Second,
+				StartupTimeout: 30 * time.Second,
 			})
 			if err != nil {
 				return nil, err

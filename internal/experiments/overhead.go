@@ -148,14 +148,18 @@ func overheadEngine(spec *servers.Spec, cfg Config) (*core.Engine, *kernel.Kerne
 	rec.SetEnabled(false)
 	k := kernel.New()
 	servers.SeedFiles(k)
-	e := core.NewEngine(k, core.Options{
-		Parallelism:    cfg.Parallelism,
-		VerifyTransfer: true,
-		WarmInterval:   200 * time.Microsecond,
+	e, err := core.NewEngine(k, core.Options{
+		Transfer:       core.TransferOptions{Parallelism: cfg.Parallelism, VerifyTransfer: true},
 		QuiesceTimeout: 30 * time.Second,
 		StartupTimeout: 30 * time.Second,
 		Recorder:       rec,
 	})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("overhead: engine %s: %w", spec.Name, err)
+	}
+	// The duty sweep arms the daemon explicitly; pacing goes through the
+	// mutator so Options stays coherent under Validate.
+	e.SetWarmPacing(200*time.Microsecond, 0)
 	if _, err := e.Launch(spec.Version(0)); err != nil {
 		return nil, nil, nil, fmt.Errorf("overhead: launch %s: %w", spec.Name, err)
 	}

@@ -108,22 +108,24 @@ func TestRunOverheadLiveTraffic(t *testing.T) {
 func overheadChecksumRun(t *testing.T, mode string) uint64 {
 	t.Helper()
 	opts := core.Options{
-		VerifyTransfer: true,
+		Transfer:       core.TransferOptions{VerifyTransfer: true},
 		QuiesceTimeout: 30 * time.Second,
 		StartupTimeout: 30 * time.Second,
 	}
 	switch mode {
 	case "sequential":
 		opts.Sequential = true
-		opts.Precopy = true
+		opts.Precopy.Enabled = true
 	case "cold":
-		opts.Precopy = true
+		opts.Precopy.Enabled = true
 	case "warm":
-		opts.Warm = true
-		opts.WarmInterval = 500 * time.Microsecond
+		opts.Warm = core.WarmOptions{Enabled: true, Interval: 500 * time.Microsecond}
 	}
 	k := kernel.New()
-	e := core.NewEngine(k, opts)
+	e, err := core.NewEngine(k, opts)
+	if err != nil {
+		t.Fatalf("%s: engine: %v", mode, err)
+	}
 	if _, err := e.Launch(downtimeVersion(0, 64, 2048)); err != nil {
 		t.Fatalf("%s: launch: %v", mode, err)
 	}

@@ -69,22 +69,24 @@ func (r *WarmResult) LatencyReduction() float64 {
 // the transferred-state checksum.
 func warmRun(cfg Config, mode string, blobs, size int) (WarmRow, error) {
 	opts := core.Options{
-		Parallelism:    cfg.Parallelism,
+		Transfer:       core.TransferOptions{Parallelism: cfg.Parallelism},
 		QuiesceTimeout: 30 * time.Second,
 		StartupTimeout: 30 * time.Second,
 	}
 	switch mode {
 	case "sequential":
 		opts.Sequential = true
-		opts.Precopy = true
+		opts.Precopy.Enabled = true
 	case "cold":
-		opts.Precopy = true
+		opts.Precopy.Enabled = true
 	case "warm":
-		opts.Warm = true
-		opts.WarmInterval = 500 * time.Microsecond
+		opts.Warm = core.WarmOptions{Enabled: true, Interval: 500 * time.Microsecond}
 	}
 	k := kernel.New()
-	e := core.NewEngine(k, opts)
+	e, err := core.NewEngine(k, opts)
+	if err != nil {
+		return WarmRow{}, err
+	}
 	if _, err := e.Launch(downtimeVersion(0, blobs, size)); err != nil {
 		return WarmRow{}, err
 	}

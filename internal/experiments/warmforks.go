@@ -168,18 +168,20 @@ func skewedWrites(inst *program.Instance, writers, round int) error {
 // warmForkRun measures one engine mode over the fork-heavy scenario.
 func warmForkRun(cfg Config, warmMode bool, children, blobs, size, writers, rounds int) (WarmForkRow, map[string]int, error) {
 	opts := core.Options{
-		Parallelism:    cfg.Parallelism,
+		Transfer:       core.TransferOptions{Parallelism: cfg.Parallelism},
 		QuiesceTimeout: 30 * time.Second,
 		StartupTimeout: 30 * time.Second,
 	}
 	if warmMode {
-		opts.Warm = true
-		opts.WarmInterval = 500 * time.Microsecond
+		opts.Warm = core.WarmOptions{Enabled: true, Interval: 500 * time.Microsecond}
 	} else {
-		opts.Precopy = true
+		opts.Precopy.Enabled = true
 	}
 	k := kernel.New()
-	e := core.NewEngine(k, opts)
+	e, err := core.NewEngine(k, opts)
+	if err != nil {
+		return WarmForkRow{}, nil, err
+	}
 	if _, err := e.Launch(warmForkVersion(0, children, blobs, size)); err != nil {
 		return WarmForkRow{}, nil, err
 	}

@@ -1,0 +1,210 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+)
+
+// adoptPair maps the same one-region layout into two fresh address spaces
+// and returns them, modeling the old and new instance sides of a
+// frame move.
+func adoptPair(t *testing.T) (old, new *AddressSpace) {
+	t.Helper()
+	old, new = NewAddressSpace(), NewAddressSpace()
+	for _, as := range []*AddressSpace{old, new} {
+		if err := as.Map(testBase, 4*PageSize, RegionHeap, "heap"); err != nil {
+			t.Fatalf("Map: %v", err)
+		}
+	}
+	return old, new
+}
+
+func TestDonateAdoptMovesFrame(t *testing.T) {
+	old, new := adoptPair(t)
+	payload := bytes.Repeat([]byte{0x5a}, PageSize)
+	if err := old.WriteAt(testBase, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := new.WriteAt(testBase, bytes.Repeat([]byte{0x11}, PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := old.DonatePage(testBase)
+	if err != nil {
+		t.Fatalf("DonatePage: %v", err)
+	}
+	if !f.Present || !f.SoftDirty {
+		t.Fatalf("donated frame = %+v, want present and soft-dirty", f)
+	}
+	// The old side reads demand-zero after donation.
+	got := make([]byte, PageSize)
+	if err := old.ReadAt(testBase, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, PageSize)) {
+		t.Error("donated page still readable on the old side")
+	}
+	if err := new.AdoptPage(testBase, f); err != nil {
+		t.Fatalf("AdoptPage: %v", err)
+	}
+	if err := new.ReadAt(testBase, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("adopted page does not carry the donated bytes")
+	}
+	// Adoption leaves the same dirty-tracking state a WriteAt of the same
+	// bytes would have: soft-dirty set, not consumed.
+	if !new.PageSoftDirty(testBase) {
+		t.Error("adopted page not soft-dirty")
+	}
+	if n := new.ConsumedCount(); n != 0 {
+		t.Errorf("adopted page consumed: %d", n)
+	}
+}
+
+func TestDonateDemandZeroPage(t *testing.T) {
+	old, new := adoptPair(t)
+	f, err := old.DonatePage(testBase + PageSize)
+	if err != nil {
+		t.Fatalf("DonatePage: %v", err)
+	}
+	if f.Present {
+		t.Fatalf("untouched page donated a resident frame: %+v", f)
+	}
+	// Restoring the absent frame re-establishes absence, not a zero frame.
+	if err := new.AdoptPage(testBase+PageSize, f); err != nil {
+		t.Fatalf("AdoptPage: %v", err)
+	}
+	if err := old.RestorePage(testBase+PageSize, f); err != nil {
+		t.Fatalf("RestorePage: %v", err)
+	}
+	if old.SoftDirtyCount() != 0 {
+		t.Error("restored absent frame left dirty bookkeeping")
+	}
+}
+
+func TestDonateRejectsUnalignedAndUnmapped(t *testing.T) {
+	old, _ := adoptPair(t)
+	if _, err := old.DonatePage(testBase + 8); err == nil {
+		t.Error("DonatePage accepted an unaligned base")
+	}
+	if _, err := old.DonatePage(0x10000); err == nil {
+		t.Error("DonatePage accepted an unmapped page")
+	}
+	if err := old.AdoptPage(0x10000, PageFrame{Present: true}); err == nil {
+		t.Error("AdoptPage accepted an unmapped page")
+	}
+	if err := old.RestorePage(testBase+8, PageFrame{}); err == nil {
+		t.Error("RestorePage accepted an unaligned base")
+	}
+}
+
+func TestLedgerReturnAllRestoresBitsAndBytes(t *testing.T) {
+	old, new := adoptPair(t)
+	payload := bytes.Repeat([]byte{0xc3}, PageSize)
+	if err := old.WriteAt(testBase, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Give the page the exact pre-donation bookkeeping we must get back:
+	// soft-dirty cleared, consumed set.
+	old.ClearSoftDirty()
+	old.ConsumedDirtyPages()
+	var l AdoptLedger
+	f, err := old.DonatePage(testBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := new.AdoptPage(testBase, f); err != nil {
+		t.Fatal(err)
+	}
+	l.Record(old, new, testBase, f)
+	if l.Count() != 1 {
+		t.Fatalf("ledger count = %d", l.Count())
+	}
+	if err := l.ReturnAll(); err != nil {
+		t.Fatalf("ReturnAll: %v", err)
+	}
+	if l.Count() != 0 {
+		t.Errorf("ledger not emptied: %d", l.Count())
+	}
+	got := make([]byte, PageSize)
+	if err := old.ReadAt(testBase, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("returned frame lost its bytes")
+	}
+	if old.PageSoftDirty(testBase) {
+		t.Error("returned frame re-dirtied the page")
+	}
+	// The frame left the new side entirely.
+	if err := new.ReadAt(testBase, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, PageSize)) {
+		t.Error("returned frame still resident on the new side")
+	}
+}
+
+func TestLedgerCopyBackKeepsFrameWithNewSide(t *testing.T) {
+	old, new := adoptPair(t)
+	payload := bytes.Repeat([]byte{0x7e}, PageSize)
+	if err := old.WriteAt(testBase, payload); err != nil {
+		t.Fatal(err)
+	}
+	var l AdoptLedger
+	f, err := old.DonatePage(testBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := new.AdoptPage(testBase, f); err != nil {
+		t.Fatal(err)
+	}
+	l.Record(old, new, testBase, f)
+	if err := l.CopyBack(); err != nil {
+		t.Fatalf("CopyBack: %v", err)
+	}
+	if l.Count() != 0 {
+		t.Errorf("ledger not emptied: %d", l.Count())
+	}
+	got := make([]byte, PageSize)
+	for side, as := range map[string]*AddressSpace{"old": old, "new": new} {
+		if err := as.ReadAt(testBase, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("%s side lost the page contents after CopyBack", side)
+		}
+	}
+}
+
+func TestLedgerForgetDropsRecords(t *testing.T) {
+	old, new := adoptPair(t)
+	if err := old.WriteAt(testBase, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	var l AdoptLedger
+	f, err := old.DonatePage(testBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := new.AdoptPage(testBase, f); err != nil {
+		t.Fatal(err)
+	}
+	l.Record(old, new, testBase, f)
+	l.Forget()
+	if l.Count() != 0 {
+		t.Errorf("Forget left %d records", l.Count())
+	}
+	// ReturnAll after Forget is a no-op: the frames belong to the new side.
+	if err := l.ReturnAll(); err != nil {
+		t.Fatalf("ReturnAll after Forget: %v", err)
+	}
+	got := make([]byte, 1)
+	if err := new.ReadAt(testBase, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Error("committed frame left the new side")
+	}
+}

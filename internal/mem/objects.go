@@ -44,6 +44,11 @@ type Object struct {
 	Startup bool        // allocated before startup completed
 	Kind    ObjKind
 	Name    string // symbol name for statics/libs
+	// Scratch marks instrumentation-owned overlay metadata: state the
+	// framework regenerates in every version and the program never reads.
+	// State transfer ignores scratch objects, and page adoption treats
+	// their bytes like allocator gap bytes — free to travel with a frame.
+	Scratch bool
 }
 
 // End returns the first address past the object.

@@ -95,6 +95,7 @@ func (inst *Instance) startThread(th *Thread, fn func(*Thread) error) {
 	if inst.opts.Instr >= InstrDynamic {
 		// Dynamic instrumentation maintains per-thread overlay metadata.
 		if o, err := th.proc.heap.Alloc(64, nil, 0); err == nil {
+			o.Scratch = true // framework-owned; regenerated, never transferred
 			th.metaNode = o
 		}
 	}

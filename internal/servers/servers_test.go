@@ -18,7 +18,10 @@ func launch(t *testing.T, spec *Spec, opts core.Options) (*core.Engine, *kernel.
 	t.Helper()
 	k := kernel.New()
 	SeedFiles(k)
-	e := core.NewEngine(k, opts)
+	e, err := core.NewEngine(k, opts)
+	if err != nil {
+		t.Fatalf("engine %s: %v", spec.Name, err)
+	}
 	if _, err := e.Launch(spec.Version(0)); err != nil {
 		t.Fatalf("launch %s: %v", spec.Name, err)
 	}

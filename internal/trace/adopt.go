@@ -1,0 +1,243 @@
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/types"
+)
+
+// shadowInvalidator is the optional interface a ShadowReader implements to
+// learn that an object's page frames left the old address space
+// (checkpoint.ProcShadow implements it): its captured shadow must never be
+// served again.
+type shadowInvalidator interface {
+	Invalidate(o *mem.Object)
+}
+
+// adoptPages is the zero-copy fast path (the simulated analogue of the
+// paper's VMA remap): classify whole old-instance pages as adoptable and
+// move their frames into the new address space instead of copying object
+// by object. A page is adoptable only when the move is provably
+// bit-identical to the copy path:
+//
+//   - every old object overlapping the page pairs to a same-address,
+//     same-size counterpart with no transformation and no user handler,
+//     and actually needs copying (a skipped-clean startup object's
+//     reinitialized bytes must win, so its pages never move);
+//   - each such object is pointer-free and policy-opaque-free
+//     (types.AdoptCompatible) — or its pointer remap is provably the
+//     identity: every word the copy path would rewrite (the precise
+//     pointer slots; opaque ranges and untyped contents travel verbatim
+//     on both paths) already holds its post-remap value;
+//   - every new-version object overlapping the page is exactly the pair
+//     target of one of those old objects (nothing new-only to clobber);
+//   - an object moves only if all of its pages move, and a page moves
+//     only if all of its objects move (computed as a shrinking fixpoint).
+//
+// Bytes on a donated page outside any object (in-band chunk headers,
+// alignment gaps, free-chunk words) travel with the frame; the simulation
+// never reads them back — allocator metadata is authoritative in Go
+// structures — so clobbering the new version's gap bytes with the old
+// frame's is unobservable. Runs sequentially between pair and
+// copyContents; under VerifyShadows each adopted object's source bytes are
+// digested before its frames leave, keeping Stats.Checksum identical to an
+// adoption-off run.
+func (pt *procTransfer) adoptPages(reachable []*mem.Object) error {
+	if !pt.opts.Adopt {
+		return nil
+	}
+	oldAS, newAS := pt.oldProc.Space(), pt.newProc.Space()
+
+	// identityRemap reports whether moving o's frames is bit-identical to
+	// copying it: the copy path (transferObject on a no-transform pair)
+	// copies the object verbatim and then rewrites only its precise
+	// pointer slots through RemapPtr. Untyped objects have no slots, so
+	// their copy is always verbatim; a typed object qualifies when every
+	// non-nil slot value already remaps to itself (its pointees kept
+	// their addresses — likely-pointer targets always do, the analysis
+	// pinned them immutable). Opaque ranges are never rewritten by the
+	// copy path, so they never disqualify a frame move.
+	identityRemap := func(o *mem.Object) bool {
+		if o.Type == nil {
+			return true
+		}
+		l := types.LayoutOf(o.Type, pt.opts.Policy)
+		for _, slot := range l.Ptrs {
+			if slot.Func {
+				continue
+			}
+			word, err := oldAS.ReadWord(o.Addr + mem.Addr(slot.Offset))
+			if err != nil {
+				return false
+			}
+			if word == 0 {
+				continue
+			}
+			if nv, ok := pt.RemapPtr(word); ok && nv != word {
+				return false
+			}
+		}
+		return true
+	}
+
+	elig := make(map[mem.Addr]*pairEntry)
+	for _, o := range reachable {
+		e := pt.pairs[o.Addr]
+		if e == nil || e.newObj == nil || e.transform != nil {
+			continue
+		}
+		if e.newObj.Addr != o.Addr || e.newObj.Size != o.Size {
+			continue
+		}
+		if _, hasHandler := pt.ann.ObjHandler(o.Name); hasHandler {
+			continue
+		}
+		needsCopy := pt.dirty[o.Addr] || !o.Startup || pt.opts.DisableDirtyFilter
+		if o.Kind == mem.ObjHeap && o.Startup && pt.bySiteSeq[mem.PlanKey{Site: o.Site, Seq: o.Seq}] == nil {
+			needsCopy = true
+		}
+		if !needsCopy {
+			continue
+		}
+		if !types.AdoptCompatible(o.Type, e.newObj.Type, pt.opts.Policy) && !identityRemap(o) {
+			continue
+		}
+		elig[o.Addr] = e
+	}
+	if len(elig) == 0 {
+		return nil
+	}
+
+	// Candidate pages: enumerated from eligible objects, kept only when
+	// fully mapped on both sides, fully covered old-side by eligible
+	// objects, and covered new-side by exactly their pair targets.
+	pagesOf := func(o *mem.Object) []mem.Addr {
+		var out []mem.Addr
+		for pb := o.Addr &^ mem.Addr(mem.PageSize-1); pb < o.End(); pb += mem.PageSize {
+			out = append(out, pb)
+		}
+		return out
+	}
+	oldIx, newIx := pt.oldProc.Index(), pt.newProc.Index()
+	cand := make(map[mem.Addr]bool)
+	for _, e := range elig {
+		for _, pb := range pagesOf(e.oldObj) {
+			if _, seen := cand[pb]; seen {
+				continue
+			}
+			ok := oldAS.Mapped(pb, mem.PageSize) && newAS.Mapped(pb, mem.PageSize)
+			if ok {
+				for _, po := range oldIx.OnPages([]mem.Addr{pb}) {
+					// Scratch overlay metadata is never transferred and
+					// never read back: its bytes ride along like
+					// allocator gap bytes on either side.
+					if po.Scratch {
+						continue
+					}
+					if elig[po.Addr] == nil {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				for _, pn := range newIx.OnPages([]mem.Addr{pb}) {
+					if pn.Scratch {
+						continue
+					}
+					en := elig[pn.Addr]
+					if en == nil || en.newObj != pn {
+						ok = false
+						break
+					}
+				}
+			}
+			cand[pb] = ok
+		}
+	}
+
+	// Fixpoint: an object moves only if all its pages are candidates; a
+	// page stays a candidate only if all its objects move. Demoting a page
+	// demotes its objects, which can demote their other pages.
+	for changed := true; changed; {
+		changed = false
+		for pb, ok := range cand {
+			if !ok {
+				continue
+			}
+			for _, po := range oldIx.OnPages([]mem.Addr{pb}) {
+				if po.Scratch {
+					continue
+				}
+				whole := true
+				for _, opb := range pagesOf(po) {
+					if !cand[opb] {
+						whole = false
+						break
+					}
+				}
+				if !whole {
+					cand[pb] = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	var pages []mem.Addr
+	for pb, ok := range cand {
+		if ok {
+			pages = append(pages, pb)
+		}
+	}
+	if len(pages) == 0 {
+		return nil
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+
+	pt.adopted = make(map[mem.Addr]bool)
+	inv, _ := pt.shadow.(shadowInvalidator)
+	for _, e := range elig {
+		o := e.oldObj
+		whole := true
+		for _, pb := range pagesOf(o) {
+			if !cand[pb] {
+				whole = false
+				break
+			}
+		}
+		if !whole {
+			continue
+		}
+		if pt.opts.VerifyShadows {
+			// Digest the source bytes while the frames are still here, so
+			// the checksum matches an adoption-off run bit for bit.
+			if err := pt.verifySource(o, o.Size, nil, &pt.stats); err != nil {
+				return err
+			}
+		}
+		if inv != nil {
+			inv.Invalidate(o)
+		}
+		pt.adopted[o.Addr] = true
+		pt.stats.ObjectsTransferred++
+		pt.stats.BytesTransferred += o.Size
+		pt.stats.BytesAdopted += o.Size
+	}
+	for _, pb := range pages {
+		f, err := oldAS.DonatePage(pb)
+		if err != nil {
+			return err
+		}
+		if err := newAS.AdoptPage(pb, f); err != nil {
+			return err
+		}
+		if pt.opts.Ledger != nil {
+			pt.opts.Ledger.Record(oldAS, newAS, pb, f)
+		}
+		pt.stats.PagesAdopted++
+	}
+	return nil
+}

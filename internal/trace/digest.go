@@ -19,6 +19,12 @@ func StateDigest(inst *program.Instance) (uint64, error) {
 	h := fnv.New64a()
 	for _, p := range inst.Procs() {
 		for _, o := range p.Index().All() {
+			if o.Scratch {
+				// Framework-owned overlay metadata is not program state:
+				// it is regenerated per version and never read back, and
+				// page adoption moves its bytes freely with the frame.
+				continue
+			}
 			fmt.Fprintf(h, "%x:%x:%d:%s;", o.Addr, o.Size, o.Kind, o.Name)
 			buf := make([]byte, o.Size)
 			if err := p.Space().ReadAt(o.Addr, buf); err != nil {

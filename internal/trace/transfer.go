@@ -53,6 +53,14 @@ type Stats struct {
 	// from the per-transfer memo instead of recomputed — every object of a
 	// changed type beyond the first is a hit.
 	TypeCacheHits int
+	// Zero-copy page adoption (Options.Adopt): whole pages whose every
+	// object is provably bit-identical across the update moved into the
+	// new address space as frames instead of being copied. Adopted objects
+	// still count in ObjectsTransferred/BytesTransferred; BytesAdopted is
+	// the third leg of the copy-source split, so
+	// BytesFromShadow + BytesLive + BytesAdopted == BytesTransferred.
+	PagesAdopted int
+	BytesAdopted uint64
 	// Checksum digests the transferred source stream when
 	// Options.VerifyShadows is set: per transferred object an FNV-64a
 	// hash over identity and pre-remap source bytes, XOR-combined so the
@@ -76,7 +84,18 @@ func (s *Stats) Add(other Stats) {
 	s.BytesFromShadow += other.BytesFromShadow
 	s.BytesLive += other.BytesLive
 	s.TypeCacheHits += other.TypeCacheHits
+	s.PagesAdopted += other.PagesAdopted
+	s.BytesAdopted += other.BytesAdopted
 	s.Checksum ^= other.Checksum
+}
+
+// AdoptionFraction returns the fraction of transferred bytes that moved by
+// zero-copy page adoption instead of object-by-object copy.
+func (s *Stats) AdoptionFraction() float64 {
+	if s.BytesTransferred == 0 {
+		return 0
+	}
+	return float64(s.BytesAdopted) / float64(s.BytesTransferred)
 }
 
 // ShadowFraction returns the fraction of copied bytes the pre-copy
@@ -154,6 +173,19 @@ type Options struct {
 	// watchdog's pipeline cancel drains an injected hang the same way it
 	// drains a real one.
 	Faults *faultinject.Plane
+	// Adopt arms the zero-copy fast path: old-instance pages whose every
+	// overlapping object is provably bit-identical across the update
+	// (layout-identical same-address pair needing no pointer rewrite) are
+	// moved into the new address space as whole frames — the simulated
+	// analogue of the paper's VMA remap — instead of copied object by
+	// object. Successful transfers stay bit-identical with adoption on or
+	// off (the VerifyShadows checksum digests adopted sources too).
+	Adopt bool
+	// Ledger, when set with Adopt, records every donated page frame so
+	// the update engine can return them on rollback or copy them back for
+	// a canary window. Without a ledger adopted frames are unrecoverable;
+	// the engine always supplies one.
+	Ledger *mem.AdoptLedger
 }
 
 // ShadowReader is one process's view of a pre-copy checkpoint
@@ -268,6 +300,11 @@ type procTransfer struct {
 	shadow   ShadowReader
 	curDirty map[mem.Addr]bool
 
+	// adopted marks old objects whose pages moved by zero-copy frame
+	// adoption; transferOne skips them. Written only by adoptPages
+	// (sequential, before copyContents), read-only afterwards.
+	adopted map[mem.Addr]bool
+
 	stats Stats
 }
 
@@ -336,6 +373,9 @@ func (d *ProcDiscovery) Complete(newProc *program.Proc, an *Analysis) (Stats, er
 		}
 	}
 	if err := pt.pair(d.reachable); err != nil {
+		return pt.stats, err
+	}
+	if err := pt.adoptPages(d.reachable); err != nil {
 		return pt.stats, err
 	}
 	if err := pt.copyContents(d.reachable); err != nil {
@@ -697,6 +737,10 @@ func (pt *procTransfer) copyContents(reachable []*mem.Object) error {
 func (pt *procTransfer) transferOne(o *mem.Object, st *Stats, scratch *[]byte) error {
 	e := pt.pairs[o.Addr]
 	if e == nil || e.newObj == nil {
+		return nil
+	}
+	if pt.adopted[o.Addr] {
+		// Moved wholesale by page adoption; accounted there.
 		return nil
 	}
 	needsCopy := pt.dirty[o.Addr] || !o.Startup || pt.opts.DisableDirtyFilter

@@ -1,0 +1,23 @@
+package types
+
+// AdoptCompatible reports whether an object of type old may move to the
+// new version by page adoption (frame remap) instead of field-wise copy,
+// without any pointer remapping: the layouts must be identical and the
+// type must carry no pointer slots and no policy-opaque ranges under p.
+// Opaque ranges disqualify because the conservative scan may identify
+// likely pointers inside them that a remap would need to rewrite; precise
+// pointer slots disqualify because their values may need remapping to
+// relocated objects. (The transfer layer separately lifts both
+// restrictions when it can prove the object's pointer remap is the
+// identity.)
+// Untyped objects (nil) have no layout evidence and are never compatible.
+func AdoptCompatible(old, new *Type, p Policy) bool {
+	if old == nil || new == nil {
+		return false
+	}
+	if !LayoutEqual(old, new) {
+		return false
+	}
+	l := LayoutOf(old, p)
+	return len(l.Ptrs) == 0 && len(l.Opaques) == 0
+}

@@ -1,0 +1,51 @@
+package types
+
+import "testing"
+
+func TestAdoptCompatible(t *testing.T) {
+	plain := StructOf("plain_s",
+		Field{Name: "a", Type: Scalar(KindUint64)},
+		Field{Name: "b", Type: Scalar(KindInt32)},
+	)
+	plainClone := StructOf("plain_s",
+		Field{Name: "a", Type: Scalar(KindUint64)},
+		Field{Name: "b", Type: Scalar(KindInt32)},
+	)
+	grown := StructOf("plain_s",
+		Field{Name: "a", Type: Scalar(KindUint64)},
+		Field{Name: "b", Type: Scalar(KindInt32)},
+		Field{Name: "c", Type: Scalar(KindInt32)},
+	)
+	withPtr := StructOf("ptr_s",
+		Field{Name: "a", Type: Scalar(KindUint64)},
+		Field{Name: "next", Type: PointerTo(nil)},
+	)
+	withChars := StructOf("buf_s",
+		Field{Name: "a", Type: Scalar(KindUint64)},
+		Field{Name: "buf", Type: ArrayOf(16, Scalar(KindUint8))},
+	)
+
+	def := DefaultPolicy()
+	cases := []struct {
+		name     string
+		old, new *Type
+		p        Policy
+		want     bool
+	}{
+		{"identical scalars", plain, plainClone, def, true},
+		{"same object both sides", plain, plain, def, true},
+		{"grown layout", plain, grown, def, false},
+		{"nil old", nil, plain, def, false},
+		{"nil new", plain, nil, def, false},
+		{"precise pointer slot", withPtr, withPtr, def, false},
+		{"opaque char array", withChars, withChars, def, false},
+		// The same char array is not opaque under a fully precise
+		// policy, so the frame move becomes provably rewrite-free.
+		{"char array, precise policy", withChars, withChars, FullyPrecisePolicy(), true},
+	}
+	for _, tc := range cases {
+		if got := AdoptCompatible(tc.old, tc.new, tc.p); got != tc.want {
+			t.Errorf("%s: AdoptCompatible = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

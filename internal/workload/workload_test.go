@@ -20,7 +20,10 @@ func launchServer(t *testing.T, name string) (*core.Engine, *kernel.Kernel, *ser
 	}
 	k := kernel.New()
 	servers.SeedFiles(k)
-	e := core.NewEngine(k, core.Options{})
+	e, err := core.NewEngine(k, core.Options{})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
 	if _, err := e.Launch(spec.Version(0)); err != nil {
 		t.Fatalf("launch: %v", err)
 	}

@@ -61,8 +61,28 @@ import (
 type Engine = core.Engine
 
 // Options configures an Engine (tracing policy, instrumentation level,
-// replay matching strategy, timeouts).
+// replay matching strategy, timeouts). The update-path knobs are grouped
+// by subsystem — see TransferOptions, PrecopyOptions, WarmOptions,
+// CanaryOptions and WatchdogOptions — and validated by NewEngine.
 type Options = core.Options
+
+// TransferOptions groups the state-transfer knobs of Options (worker
+// parallelism, the zero-copy page-adoption fast path, checksum
+// verification, the dirty-filter ablation).
+type TransferOptions = core.TransferOptions
+
+// PrecopyOptions groups the incremental pre-copy checkpoint knobs.
+type PrecopyOptions = core.PrecopyOptions
+
+// WarmOptions groups the warm-standby readiness daemon knobs.
+type WarmOptions = core.WarmOptions
+
+// CanaryOptions groups the post-commit canary window knobs.
+type CanaryOptions = core.CanaryOptions
+
+// WatchdogOptions groups the per-phase deadline watchdog and rollback
+// audit knobs.
+type WatchdogOptions = core.WatchdogOptions
 
 // UpdateReport is the outcome of one live update: the three update-time
 // components (quiescence, control migration, state transfer), replay and
@@ -181,8 +201,19 @@ type PointerStats = trace.PointerStats
 // NewKernel creates a simulated OS instance.
 func NewKernel() *Kernel { return kernel.New() }
 
-// NewEngine builds a live-update engine over the kernel.
-func NewEngine(k *Kernel, opts Options) *Engine { return core.NewEngine(k, opts) }
+// NewEngine builds a live-update engine over the kernel. The options are
+// validated first (Options.Validate); incoherent combinations — pacing
+// knobs for a subsystem that is not enabled, a malformed watchdog table —
+// are rejected with an error instead of being silently ignored.
+func NewEngine(k *Kernel, opts Options) (*Engine, error) { return core.NewEngine(k, opts) }
+
+// DefaultOptions returns the recommended engine configuration: the
+// pipelined engine with the zero-copy page-adoption fast path armed.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// AuditOptions returns DefaultOptions with the transfer checksum and the
+// rollback bit-identity audit armed — the harness configuration.
+func AuditOptions() Options { return core.AuditOptions() }
 
 // NewController creates an mcr-ctl backend for the engine at the given
 // (simulated) Unix socket path.
